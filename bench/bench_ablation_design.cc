@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Ablation harness for the two design choices DESIGN.md calls out that
+ * the paper motivates but does not sweep in a dedicated figure:
+ *
+ *  1. Seamless back-to-back merge sort (Sec. 3.3, Fig. 6): disabled, a
+ *     round of merge sort starts only after the previous round drains
+ *     from the root. Expected: a penalty of up to ~15% on matrices with
+ *     many short rounds (sparse inputs on a small tree), vanishing (or
+ *     drowned in row-conflict noise) as rounds get longer.
+ *
+ *  2. NNZ-based workload balancing (Sec. 3.5): replaced by the naive
+ *     equal-row-range split, execution tracks the most loaded PU.
+ *     Expected: near-no change on uniform matrices, large penalty on
+ *     power-law ones.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "sparse/partition.hh"
+#include "sparse/workloads.hh"
+
+using namespace menda;
+using namespace menda::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    opts.parse(argc, argv);
+    const std::uint64_t scale = opts.scale();
+
+    banner("Ablation 1: seamless back-to-back merge sort (Sec. 3.3)");
+    std::printf("%-10s %8s | %14s %14s %9s\n", "Matrix", "Leaves",
+                "seamless(us)", "stop&go(us)", "penalty");
+    for (const char *name : {"N3", "P3", "wiki-Talk"}) {
+        sparse::CsrMatrix a =
+            sparse::makeWorkload(sparse::findWorkload(name), scale);
+        for (unsigned leaves : {16u, 64u}) {
+            core::SystemConfig config = channelSystem(1);
+            config.pu.leaves = leaves;
+
+            core::MendaSystem seamless(config);
+            const double t_on = seamless.transpose(a).seconds;
+
+            config.pu.seamlessMerge = false;
+            core::MendaSystem stop_go(config);
+            const double t_off = stop_go.transpose(a).seconds;
+
+            std::printf("%-10s %8u | %14.1f %14.1f %8.2fx\n", name,
+                        leaves, t_on * 1e6, t_off * 1e6, t_off / t_on);
+        }
+    }
+
+    banner("Ablation 2: NNZ-balanced vs equal-row partitioning "
+           "(Sec. 3.5)");
+    std::printf("%-10s | %10s %10s | %14s %14s %9s\n", "Matrix",
+                "imb(nnz)", "imb(rows)", "balanced(us)", "naive(us)",
+                "penalty");
+    for (const char *name : {"N5", "P5", "wiki-Talk", "mac_econ"}) {
+        sparse::CsrMatrix a =
+            sparse::makeWorkload(sparse::findWorkload(name), scale);
+        core::SystemConfig config = nominalSystem();
+        config.pu.leaves = scaledLeaves(1024, scale);
+
+        const double imb_nnz = sparse::imbalance(
+            a, sparse::partitionByNnz(a, config.totalPus()));
+        const double imb_rows = sparse::imbalance(
+            a, sparse::partitionByRows(a, config.totalPus()));
+
+        core::MendaSystem balanced(config);
+        const double t_bal = balanced.transpose(a).seconds;
+
+        config.rowPartitioning = true;
+        core::MendaSystem naive(config);
+        const double t_naive = naive.transpose(a).seconds;
+
+        std::printf("%-10s | %10.2f %10.2f | %14.1f %14.1f %8.2fx\n",
+                    name, imb_nnz, imb_rows, t_bal * 1e6, t_naive * 1e6,
+                    t_naive / t_bal);
+    }
+    std::printf("\nnaive equal-row splits leave skewed matrices "
+                "bottlenecked on one PU;\nNNZ balancing keeps every "
+                "rank busy (Sec. 3.5).\n");
+
+    banner("Ablation 3: DRAM address mapping (bank-group interleave)");
+    std::printf("%-10s | %16s %18s %9s\n", "Matrix", "interleaved(us)",
+                "row-contiguous(us)", "penalty");
+    for (const char *name : {"N3", "wiki-Talk"}) {
+        sparse::CsrMatrix a =
+            sparse::makeWorkload(sparse::findWorkload(name), scale);
+        core::SystemConfig config = channelSystem(1);
+        config.pu.leaves = scaledLeaves(1024, scale);
+
+        core::MendaSystem interleaved(config);
+        const double t_bgi = interleaved.transpose(a).seconds;
+
+        config.dram.mapping = dram::AddressMapping::RowBufferContiguous;
+        core::MendaSystem contiguous(config);
+        const double t_row = contiguous.transpose(a).seconds;
+
+        std::printf("%-10s | %16.1f %18.1f %8.2fx\n", name, t_bgi * 1e6,
+                    t_row * 1e6, t_row / t_bgi);
+    }
+    std::printf("\na single sequential stream under a row-contiguous "
+                "layout is tCCD_L-bound\n(see the controller unit "
+                "test), but the PU's many concurrent streams already\n"
+                "mix bank groups at the scheduler, so end-to-end "
+                "transposition is largely\nmapping-insensitive — "
+                "traffic diversity substitutes for address "
+                "interleaving.\n");
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fig. 3(a): roofline model of mergeTrans running with 64 threads,
+ * built through trace simulation on the DRAM model (the paper's
+ * Ramulator-CPU-mode methodology).
+ *
+ * For each matrix we report the achieved throughput (NNZ/s), the
+ * operational intensity (NNZ per DRAM byte), and the two roofs: the
+ * throughput the 76.8 GB/s system peak allows at that intensity, and
+ * the same roof lifted 8x (the internal bandwidth NMP exposes).
+ * Expected shape: every point sits near (within ~25% of) the system
+ * roof — transposition is memory-bandwidth bound — and far below the
+ * lifted roof, the headroom MeNDA exploits.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/merge_trans.hh"
+#include "bench_util.hh"
+#include "sparse/workloads.hh"
+#include "trace/replay.hh"
+
+using namespace menda;
+using namespace menda::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    opts.parse(argc, argv);
+    // Trace simulation is heavier than the accelerator sim: default to
+    // twice the global scale.
+    const std::uint64_t scale = opts.scale() * 2;
+    const unsigned threads =
+        static_cast<unsigned>(opts.getInt("threads", 64));
+
+    banner("Figure 3(a): roofline of mergeTrans, " +
+           std::to_string(threads) + " threads (scale 1/" +
+           std::to_string(scale) + ")");
+
+    trace::ReplayConfig replay;
+    const double peak = replay.peakBandwidth();
+    std::printf("theoretical peak bandwidth: %.1f GB/s\n", peak / 1e9);
+    std::printf("%-12s %12s | %12s %12s %12s | %9s\n", "Matrix",
+                "OI(NNZ/B)", "Thrpt(M/s)", "Roof(M/s)", "8xRoof(M/s)",
+                "% of roof");
+
+    const std::vector<std::string> names = {"N1", "N2", "N3", "N4",
+                                            "amazon", "wiki-Talk",
+                                            "parabolic", "sme3Dc"};
+    for (const std::string &name : names) {
+        sparse::CsrMatrix a =
+            sparse::makeWorkload(sparse::findWorkload(name), scale);
+        trace::TraceRecorder rec(threads);
+        baselines::mergeTrans(a, threads, &rec);
+        trace::ReplayResult result = trace::replayTrace(rec, replay);
+
+        const double nnzps = a.nnz() / result.seconds;
+        const double oi =
+            static_cast<double>(a.nnz()) / result.dramBytes();
+        const double roof = peak * oi;
+        std::printf("%-12s %12.5f | %12.2f %12.2f %12.2f | %8.1f%%\n",
+                    name.c_str(), oi, nnzps / 1e6, roof / 1e6,
+                    8.0 * roof / 1e6, 100.0 * nnzps / roof);
+    }
+    std::printf("\nEvery point close to its roof = memory bandwidth "
+                "bound; the 8x roof\nshows the NMP headroom (paper: "
+                "4.1-5.2x throughput at 8x bandwidth).\n");
+    return 0;
+}

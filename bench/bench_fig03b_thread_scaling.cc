@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fig. 3(b): memory bandwidth utilized by mergeTrans with an increasing
+ * number of threads, via trace replay on the quad-channel DDR4-2400
+ * model (76.8 GB/s theoretical peak).
+ *
+ * Expected shape: utilization grows with threads, starts to saturate
+ * around 16 threads, and flattens near ~80% of peak (the paper measures
+ * 59.6 of 76.8 GB/s at 64 threads) — the memory-interface contention
+ * that motivates near-memory processing.
+ */
+
+#include <cstdio>
+
+#include "baselines/merge_trans.hh"
+#include "bench_util.hh"
+#include "sparse/workloads.hh"
+#include "trace/replay.hh"
+
+using namespace menda;
+using namespace menda::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    opts.parse(argc, argv);
+    const std::uint64_t scale = opts.scale() * 2;
+    const std::string name = opts.get("matrix", "N1");
+
+    sparse::CsrMatrix a =
+        sparse::makeWorkload(sparse::findWorkload(name), scale);
+
+    banner("Figure 3(b): bandwidth vs thread count, " + name +
+           " (scale 1/" + std::to_string(scale) + ")");
+    trace::ReplayConfig replay;
+    PlotWriter plot(opts, "fig03b_thread_scaling");
+    plot.series("utilized bandwidth (GB/s)");
+    std::printf("theoretical peak: %.1f GB/s\n",
+                replay.peakBandwidth() / 1e9);
+    std::printf("%8s | %14s %10s | %10s\n", "Threads", "Bandwidth(GB/s)",
+                "% of peak", "Time(ms)");
+
+    double last_bw = 0.0;
+    for (unsigned threads : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+        trace::TraceRecorder rec(threads);
+        baselines::mergeTrans(a, threads, &rec);
+        trace::ReplayResult result = trace::replayTrace(rec, replay);
+        const double bw = result.achievedBandwidth();
+        std::printf("%8u | %14.1f %9.1f%% | %10.3f\n", threads, bw / 1e9,
+                    100.0 * bw / replay.peakBandwidth(),
+                    result.seconds * 1e3);
+        plot.point(threads, bw / 1e9);
+        last_bw = bw;
+    }
+    plot.script("Fig. 3(b): bandwidth vs threads",
+                "set xlabel 'threads'\nset logscale x 2\n"
+                "set ylabel 'GB/s'\n"
+                "plot datafile index 0 with linespoints title "
+                "'mergeTrans', 76.8 title 'theoretical peak'");
+    std::printf("\nsaturation bandwidth: %.1f GB/s (paper: 59.6 of 76.8 "
+                "GB/s)\n", last_bw / 1e9);
+    return 0;
+}

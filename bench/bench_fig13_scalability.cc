@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fig. 13: execution time and throughput of MeNDA transposing the
+ * Tab. 3 uniform matrices N1-N8, sweeping the number of memory channels
+ * (1 / 2 / 4; each channel is 2 DIMMs x 2 ranks = 4 PUs).
+ *
+ * Expected shape (Sec. 6.5): throughput scales ~linearly with channels;
+ * execution time tracks NNZ (N1-N4) and stays flat for equal-NNZ
+ * matrices (N5-N8) except where an extra merge iteration is needed.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "sparse/workloads.hh"
+
+using namespace menda;
+using namespace menda::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    opts.parse(argc, argv);
+    const std::uint64_t scale = opts.scale();
+
+    banner("Figure 13: scalability with channels (scale 1/" +
+           std::to_string(scale) + ")");
+    PlotWriter plot(opts, "fig13_scalability");
+    std::printf("%-6s %10s | %12s %14s | %6s %9s\n", "Matrix", "Channels",
+                "ExecTime(ms)", "Thrpt(MNNZ/s)", "Iters",
+                "BusUtil");
+
+    for (const auto &spec : sparse::table3Uniform()) {
+        sparse::CsrMatrix a = sparse::makeWorkload(spec, scale);
+        plot.series(spec.name + " throughput (MNNZ/s)");
+        for (unsigned channels : {1u, 2u, 4u}) {
+            core::SystemConfig config = channelSystem(channels);
+            config.pu.leaves = scaledLeaves(1024, scale);
+            core::MendaSystem sys(config);
+            core::TransposeResult result = sys.transpose(a);
+            std::printf("%-6s %10u | %12.3f %14.1f | %6u %8.1f%%\n",
+                        spec.name.c_str(), channels,
+                        result.seconds * 1e3,
+                        result.throughputNnzPerSec(a.nnz()) / 1e6,
+                        result.iterations,
+                        result.busUtilization * 100.0);
+            plot.point(channels,
+                       result.throughputNnzPerSec(a.nnz()) / 1e6);
+        }
+    }
+    plot.script("Fig. 13: throughput vs channels",
+                "set xlabel 'channels'\nset ylabel 'MNNZ/s'\n"
+                "plot for [i=0:7] datafile index i with linespoints "
+                "title columnheader(1)");
+    std::printf("\nNote: a merge tree of %u leaves (nominal 1024 scaled "
+                "with the matrices)\n", scaledLeaves(1024, scale));
+    return 0;
+}

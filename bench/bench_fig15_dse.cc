@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Fig. 15: design space exploration — execution time and energy-delay
+ * product sweeping (left) the PU frequency and (right) the number of
+ * leaf PEs, on the equal-NNZ matrices N5-N8.
+ *
+ * Expected shape (Sec. 6.7): beyond 800 MHz the memory bandwidth is
+ * already saturated, so higher frequency only raises power and EDP;
+ * fewer leaves force more merge iterations, whose extra traffic costs
+ * more than the smaller tree saves — 1024 leaves wins both performance
+ * and EDP.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "power/power_model.hh"
+#include "sparse/workloads.hh"
+
+using namespace menda;
+using namespace menda::bench;
+
+namespace
+{
+
+struct Point
+{
+    double seconds;
+    double edp;
+    unsigned iterations;
+};
+
+Point
+run(const sparse::CsrMatrix &a, std::uint64_t freq_mhz, unsigned leaves)
+{
+    core::SystemConfig config = channelSystem(1);
+    config.pu.freqMhz = freq_mhz;
+    config.pu.leaves = leaves;
+    core::MendaSystem sys(config);
+    core::TransposeResult result = sys.transpose(a);
+
+    power::PuPowerModel pu_power;
+    power::DramPowerModel dram_power;
+    const double watts =
+        pu_power.puWatts(config.pu) * config.totalPus();
+    const double dram_j = dram_power.energyJ(
+        result.activates, result.totalBlocks(), result.seconds) *
+        config.totalPus();
+    const double energy = watts * result.seconds + dram_j;
+    return {result.seconds, power::edp(energy, result.seconds),
+            result.iterations};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    opts.parse(argc, argv);
+    const std::uint64_t scale = opts.scale();
+    const unsigned nominal_leaves = scaledLeaves(1024, scale);
+
+    PlotWriter plot(opts, "fig15_dse");
+    banner("Figure 15 (left): frequency sweep (scale 1/" +
+           std::to_string(scale) + ")");
+    std::printf("%-6s %8s | %12s %14s\n", "Matrix", "MHz", "ExecTime(ms)",
+                "EDP (norm)");
+    const unsigned freqs[5] = {400, 600, 800, 1000, 1200};
+    for (const char *name : {"N5", "N6", "N7", "N8"}) {
+        sparse::CsrMatrix a =
+            sparse::makeWorkload(sparse::findWorkload(name), scale);
+        Point points[5];
+        for (int i = 0; i < 5; ++i)
+            points[i] = run(a, freqs[i], nominal_leaves);
+        const double edp800 = points[2].edp; // normalize to 800 MHz
+        plot.series(std::string(name) + " EDP vs frequency");
+        for (int i = 0; i < 5; ++i) {
+            std::printf("%-6s %8u | %12.3f %14.3f\n", name, freqs[i],
+                        points[i].seconds * 1e3, points[i].edp / edp800);
+            plot.point(freqs[i], points[i].edp / edp800);
+        }
+    }
+
+    banner("Figure 15 (right): leaf-count sweep");
+    std::printf("%-6s %8s | %12s %14s %7s\n", "Matrix", "Leaves",
+                "ExecTime(ms)", "EDP (norm)", "Iters");
+    for (const char *name : {"N5", "N6", "N7", "N8"}) {
+        sparse::CsrMatrix a =
+            sparse::makeWorkload(sparse::findWorkload(name), scale);
+        // Gather first so normalization uses the largest tree.
+        unsigned leaves_list[3] = {nominal_leaves / 16,
+                                   nominal_leaves / 4, nominal_leaves};
+        Point points[3];
+        for (int i = 0; i < 3; ++i)
+            points[i] = run(a, 800, std::max(4u, leaves_list[i]));
+        plot.series(std::string(name) + " EDP vs leaves");
+        for (int i = 0; i < 3; ++i) {
+            std::printf("%-6s %8u | %12.3f %14.3f %7u\n", name,
+                        std::max(4u, leaves_list[i]),
+                        points[i].seconds * 1e3,
+                        points[i].edp / points[2].edp,
+                        points[i].iterations);
+            plot.point(std::max(4u, leaves_list[i]),
+                       points[i].edp / points[2].edp);
+        }
+    }
+    plot.script("Fig. 15: EDP design space",
+                "set xlabel 'frequency (MHz) / leaves'\n"
+                "set ylabel 'EDP (normalized)'\n"
+                "plot for [i=0:7] datafile index i with linespoints "
+                "title columnheader(1)");
+    return 0;
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the core kernels: merge-tree
+ * throughput, golden transposition, the CPU baselines, DRAM streaming,
+ * and a full small PU transposition. These track the *simulator's* host
+ * performance, guarding against regressions that would make the figure
+ * harnesses impractically slow.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/merge_trans.hh"
+#include "baselines/scan_trans.hh"
+#include "dram/controller.hh"
+#include "menda/merge_tree.hh"
+#include "menda/system.hh"
+#include "sparse/generate.hh"
+
+using namespace menda;
+
+namespace
+{
+
+void
+BM_MergeTreeThroughput(benchmark::State &state)
+{
+    core::PuConfig config;
+    config.leaves = static_cast<unsigned>(state.range(0));
+    std::uint64_t pops = 0;
+    for (auto _ : state) {
+        core::MergeTree tree(config, core::MergeKey::Column);
+        const unsigned slots = tree.streamSlots();
+        std::vector<unsigned> sent(slots, 0);
+        const unsigned per_stream = 256;
+        while (tree.roundsCompleted() == 0) {
+            for (unsigned s = 0; s < slots; ++s) {
+                if (sent[s] < per_stream && tree.canPush(s)) {
+                    tree.push(s, core::Packet::data(
+                                     s, sent[s] * slots + s, 1.0f,
+                                     sent[s] + 1 == per_stream));
+                    ++sent[s];
+                }
+            }
+            if (tree.canPop()) {
+                tree.pop();
+                ++pops;
+            }
+            tree.tick();
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(pops));
+}
+BENCHMARK(BM_MergeTreeThroughput)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_GoldenTranspose(benchmark::State &state)
+{
+    sparse::CsrMatrix a = sparse::generateUniform(
+        4096, 4096, static_cast<std::uint64_t>(state.range(0)), 1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sparse::transposeReference(a));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(a.nnz()));
+}
+BENCHMARK(BM_GoldenTranspose)->Arg(50000)->Arg(200000);
+
+void
+BM_ScanTransNative(benchmark::State &state)
+{
+    sparse::CsrMatrix a = sparse::generateUniform(8192, 8192, 100000, 2);
+    const unsigned threads = static_cast<unsigned>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(baselines::scanTrans(a, threads));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(a.nnz()));
+}
+BENCHMARK(BM_ScanTransNative)->Arg(1)->Arg(4);
+
+void
+BM_MergeTransNative(benchmark::State &state)
+{
+    sparse::CsrMatrix a = sparse::generateUniform(8192, 8192, 100000, 3);
+    const unsigned threads = static_cast<unsigned>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(baselines::mergeTrans(a, threads));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(a.nnz()));
+}
+BENCHMARK(BM_MergeTransNative)->Arg(1)->Arg(4);
+
+void
+BM_DramStreamingReads(benchmark::State &state)
+{
+    for (auto _ : state) {
+        dram::DramConfig config = dram::DramConfig::ddr4_2400r(1);
+        config.refreshEnabled = false;
+        dram::MemoryController ctrl("mem", config, false);
+        std::uint64_t served = 0;
+        ctrl.setResponseCallback(
+            [&](const mem::MemRequest &) { ++served; });
+        Addr next = 0;
+        std::uint64_t sent = 0;
+        while (served < 4096) {
+            if (sent < 4096) {
+                mem::MemRequest req;
+                req.addr = next;
+                if (ctrl.enqueue(req)) {
+                    next += 64;
+                    ++sent;
+                }
+            }
+            ctrl.tick();
+        }
+        benchmark::DoNotOptimize(served);
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_DramStreamingReads);
+
+void
+BM_PuTranspose(benchmark::State &state)
+{
+    sparse::CsrMatrix a = sparse::generateUniform(
+        2048, 2048, static_cast<std::uint64_t>(state.range(0)), 4);
+    core::SystemConfig config;
+    config.channels = 1;
+    config.dimmsPerChannel = 1;
+    config.ranksPerDimm = 1;
+    config.pu.leaves = 64;
+    for (auto _ : state) {
+        core::MendaSystem sys(config);
+        benchmark::DoNotOptimize(sys.transpose(a).seconds);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(a.nnz()));
+}
+BENCHMARK(BM_PuTranspose)->Arg(20000)->Arg(60000);
+
+} // namespace
+
+BENCHMARK_MAIN();

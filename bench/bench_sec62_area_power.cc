@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Sec. 6.2: area and power of a MeNDA PU — 78.6 mW at 800 MHz and
+ * 7.1 mm^2 in 40 nm, +13.8 mW for the SpMV units — against the budget
+ * of a commodity DIMM buffer chip (~100 mm^2, per the IBM z13 memory
+ * subsystem reference the paper cites).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "power/power_model.hh"
+
+using namespace menda;
+using namespace menda::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    opts.parse(argc, argv);
+
+    power::PuPowerModel model;
+    core::PuConfig nominal;
+
+    banner("Sec. 6.2: MeNDA PU area and power (40 nm model)");
+    std::printf("%-34s %10s %10s\n", "configuration", "power(mW)",
+                "area(mm2)");
+
+    auto line = [&](const char *label, const core::PuConfig &config,
+                    bool spmv) {
+        std::printf("%-34s %10.1f %10.2f\n", label,
+                    model.puWatts(config, spmv) * 1e3,
+                    model.puAreaMm2(config));
+    };
+    line("nominal (1024 leaves, 800 MHz)", nominal, false);
+    line("nominal + SpMV units active", nominal, true);
+
+    core::PuConfig small = nominal;
+    small.leaves = 256;
+    line("256 leaves", small, false);
+    small.leaves = 64;
+    line("64 leaves", small, false);
+
+    core::PuConfig fast = nominal;
+    fast.freqMhz = 1200;
+    line("1200 MHz", fast, false);
+    fast.freqMhz = 400;
+    line("400 MHz", fast, false);
+
+    std::printf("\ncomponent split at nominal: tree %.1f mW, prefetch "
+                "SRAM %.1f mW, control+IF %.1f mW\n",
+                model.anchorWatts * model.treeFraction * 1e3,
+                model.anchorWatts * model.bufferFraction * 1e3,
+                model.anchorWatts * model.controlFraction * 1e3);
+    std::printf("DIMM buffer-chip budget: ~100 mm2 -> PU fits with %.0f "
+                "mm2 to spare\n",
+                100.0 - model.puAreaMm2(nominal));
+    std::printf("(paper: 78.6 mW, 7.1 mm2, +13.8 mW SpMV)\n");
+    return 0;
+}

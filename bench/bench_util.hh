@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction harnesses.
+ *
+ * Every harness accepts --scale=N (default: MENDA_BENCH_SCALE env var or
+ * 8) which divides matrix dimensions and NNZ so the default
+ * run-every-bench sweep finishes quickly; --scale=1 reproduces the
+ * paper-sized runs. Output is aligned text tables, one per figure.
+ */
+
+#ifndef MENDA_BENCH_BENCH_UTIL_HH
+#define MENDA_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "menda/system.hh"
+
+namespace menda::bench
+{
+
+/**
+ * Optional figure-data export: when a harness is run with
+ * --plot-dir=DIR, it writes gnuplot-ready `<figure>.dat` (series
+ * separated by double blank lines, `# name` headers) and a matching
+ * `<figure>.gp` script, so every paper plot can be regenerated as an
+ * actual image. Disabled (all no-ops) without the flag.
+ */
+class PlotWriter
+{
+  public:
+    PlotWriter(const Options &opts, const std::string &figure)
+        : figure_(figure), dir_(opts.get("plot-dir"))
+    {
+        if (!dir_.empty())
+            dat_.open(dir_ + "/" + figure_ + ".dat");
+    }
+
+    bool enabled() const { return dat_.is_open(); }
+
+    /** Start a named data series (a gnuplot `index` block). */
+    void
+    series(const std::string &name)
+    {
+        if (!enabled())
+            return;
+        if (series_++ > 0)
+            dat_ << "\n\n";
+        dat_ << "# " << name << "\n";
+    }
+
+    /** One data point; @p label lands in column 3 for xticlabels. */
+    void
+    point(double x, double y, const std::string &label = "")
+    {
+        if (!enabled())
+            return;
+        dat_ << x << " " << y;
+        if (!label.empty())
+            dat_ << " \"" << label << "\"";
+        dat_ << "\n";
+    }
+
+    /** Write the companion gnuplot script (plot body supplied). */
+    void
+    script(const std::string &title, const std::string &plot_body)
+    {
+        if (!enabled())
+            return;
+        std::ofstream gp(dir_ + "/" + figure_ + ".gp");
+        gp << "set terminal pngcairo size 900,600\n"
+           << "set output '" << figure_ << ".png'\n"
+           << "set title '" << title << "'\n"
+           << "set grid\n"
+           << "datafile = '" << figure_ << ".dat'\n"
+           << plot_body << "\n";
+    }
+
+  private:
+    std::string figure_;
+    std::string dir_;
+    std::ofstream dat_;
+    unsigned series_ = 0;
+};
+
+/** Print a rule + centered figure title. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n%s\n", std::string(72, '=').c_str());
+    std::printf("%s\n", title.c_str());
+    std::printf("%s\n", std::string(72, '=').c_str());
+}
+
+/** Aligned row printing: printf-style but with a fixed first column. */
+template <typename... Args>
+void
+row(const char *fmt, Args... args)
+{
+    std::printf(fmt, args...);
+    std::printf("\n");
+}
+
+/** The paper's nominal full system: 4 channels x 2 DIMMs x 2 ranks. */
+inline core::SystemConfig
+nominalSystem()
+{
+    core::SystemConfig config;
+    config.channels = 4;
+    config.dimmsPerChannel = 2;
+    config.ranksPerDimm = 2;
+    return config;
+}
+
+/** A single-channel system (4 PUs) for per-channel studies. */
+inline core::SystemConfig
+channelSystem(unsigned channels)
+{
+    core::SystemConfig config;
+    config.channels = channels;
+    config.dimmsPerChannel = 2;
+    config.ranksPerDimm = 2;
+    return config;
+}
+
+/**
+ * Scale the leaf count with the bench scale so the iteration structure
+ * matches the paper's. Leaves shrink by scale/2 (one power-of-two notch
+ * less than the matrices): rounds-per-iteration then keep a 2x margin
+ * against the exact paper ratio, so slight NNZ-balancing jitter cannot
+ * spill an extra iteration where the paper has none — while N8 on one
+ * channel still exceeds the leaf count and keeps its 3-iteration
+ * outlier (Sec. 6.5).
+ */
+inline unsigned
+scaledLeaves(unsigned nominal, std::uint64_t scale)
+{
+    unsigned leaves = nominal;
+    while (scale > 2 && leaves > 16) {
+        leaves /= 2;
+        scale /= 2;
+    }
+    return leaves;
+}
+
+} // namespace menda::bench
+
+#endif // MENDA_BENCH_BENCH_UTIL_HH

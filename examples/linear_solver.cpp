@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The paper's flagship preprocessing use case (Sec. 2.1): iterative
+ * solvers such as biconjugate gradient and quasi-minimal residual
+ * multiply by both A and Aᵀ every iteration. With MeNDA, Aᵀ is
+ * produced once near memory and both products run as near-memory SpMV;
+ * the one-time transposition amortizes across iterations.
+ *
+ *   $ ./examples/linear_solver [--n=2048] [--band=9] [--solver=bicg|qmr]
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "common/config.hh"
+#include "solver/bicg.hh"
+#include "sparse/generate.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace menda;
+
+    Options opts;
+    opts.parse(argc, argv);
+    const Index n = static_cast<Index>(opts.getInt("n", 2048));
+    const Index band = static_cast<Index>(opts.getInt("band", 9));
+    const std::string which = opts.get("solver", "bicg");
+
+    // A diagonally dominant banded system (stable for BiCG/QMR).
+    sparse::CsrMatrix a = sparse::generateBanded(n, band, 0.6, 99);
+    for (Index r = 0; r < a.rows; ++r)
+        for (std::uint32_t k = a.ptr[r]; k < a.ptr[r + 1]; ++k)
+            if (a.idx[k] == r)
+                a.val[k] = static_cast<Value>(band + 2); // dominance
+    std::vector<double> b(n, 1.0);
+
+    std::printf("system: %u x %u, %lu non-zeros; solver: %s\n", a.rows,
+                a.cols, (unsigned long)a.nnz(), which.c_str());
+
+    // Substrate 1: host reference.
+    solver::LinearOperator host = solver::referenceOperator(a);
+    solver::SolveResult ref = which == "qmr"
+                                  ? solver::qmr(host, b, 500, 1e-8)
+                                  : solver::bicg(host, b, 500, 1e-8);
+    std::printf("host reference: %s in %u iterations (residual "
+                "%.2e)\n", ref.converged ? "converged" : "stopped",
+                ref.iterations, ref.residualNorm);
+
+    // Substrate 2: MeNDA — transpose once near memory, then simulated
+    // near-memory SpMV for every A / Aᵀ product.
+    core::SystemConfig system;
+    system.channels = 1;
+    system.dimmsPerChannel = 2;
+    system.ranksPerDimm = 2;
+    system.pu.leaves = 64;
+    solver::MendaOperator menda_op(a, system);
+    solver::LinearOperator near = menda_op.op();
+    solver::SolveResult sim = which == "qmr"
+                                  ? solver::qmr(near, b, 500, 1e-8)
+                                  : solver::bicg(near, b, 500, 1e-8);
+
+    double worst = 0.0;
+    for (Index i = 0; i < n; ++i)
+        worst = std::max(worst, std::abs(sim.x[i] - ref.x[i]));
+    std::printf("near-memory run: %s in %u iterations; max deviation "
+                "from host solution %.2e\n",
+                sim.converged ? "converged" : "stopped", sim.iterations,
+                worst);
+    std::printf("simulated near-memory time: transpose %.3f ms (once) "
+                "+ SpMV %.3f ms (%u products)\n",
+                menda_op.transposeSeconds() * 1e3,
+                menda_op.spmvSeconds() * 1e3, 2 * sim.iterations);
+    std::printf("transposition amortized to %.1f%% of total offload "
+                "time after %u iterations\n",
+                100.0 * menda_op.transposeSeconds() /
+                    (menda_op.transposeSeconds() +
+                     menda_op.spmvSeconds()),
+                sim.iterations);
+    return sim.converged ? 0 : 1;
+}

@@ -1,0 +1,38 @@
+#include "baselines/accel_models.hh"
+
+namespace menda::baselines
+{
+
+std::uint64_t
+spmmPartialProducts(const sparse::CsrMatrix &a)
+{
+    // Outer-product A x A: column j of A multiplies row j of A, giving
+    // nnz_col(j) * nnz_row(j) partial products.
+    std::vector<std::uint32_t> col_count(a.cols, 0);
+    for (Index c : a.idx)
+        ++col_count[c];
+    std::uint64_t products = 0;
+    const Index common = a.rows < a.cols ? a.rows : a.cols;
+    for (Index j = 0; j < common; ++j) {
+        const std::uint64_t row_len = a.ptr[j + 1] - a.ptr[j];
+        products += static_cast<std::uint64_t>(col_count[j]) * row_len;
+    }
+    return products;
+}
+
+double
+outerSpaceSpmmSeconds(const sparse::CsrMatrix &a,
+                      const SpmmModelConfig &config)
+{
+    return static_cast<double>(spmmPartialProducts(a)) /
+           config.outerSpaceProductsPerSec;
+}
+
+double
+spArchSpmmSeconds(const sparse::CsrMatrix &a, const SpmmModelConfig &config)
+{
+    return static_cast<double>(spmmPartialProducts(a)) /
+           config.spArchProductsPerSec;
+}
+
+} // namespace menda::baselines

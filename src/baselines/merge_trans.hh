@@ -1,0 +1,42 @@
+/**
+ * @file
+ * mergeTrans — the merge-sort based parallel sparse matrix transposition
+ * of Wang et al., ICS'16. This is the CPU baseline MeNDA's algorithm and
+ * characterization (Sec. 2.2) build on.
+ *
+ * Each thread takes an NNZ-balanced slice of rows, whose non-zeros are
+ * individually column-sorted streams, and merges them pairwise into one
+ * sorted (col, row) run; the per-thread runs are then merged across
+ * threads in log2(T) rounds with half of the remaining threads idle in
+ * every round — the serialization that makes mergeTrans scale poorly
+ * beyond ~16 threads (Fig. 3(b)). Every merge round streams the full
+ * intermediate triple set out to memory and back, which is the
+ * "back-and-forth intermediate data" traffic MeNDA eliminates by merging
+ * l ways at once in hardware.
+ */
+
+#ifndef MENDA_BASELINES_MERGE_TRANS_HH
+#define MENDA_BASELINES_MERGE_TRANS_HH
+
+#include "baselines/scan_trans.hh"
+#include "sparse/format.hh"
+#include "trace/recorder.hh"
+
+namespace menda::baselines
+{
+
+/** Extra observability for the characterization figures. */
+struct MergeTransStats
+{
+    std::uint64_t mergeRounds = 0;       ///< total pairwise rounds
+    std::uint64_t intermediateBytes = 0; ///< triple traffic, all rounds
+};
+
+sparse::CscMatrix mergeTrans(const sparse::CsrMatrix &a, unsigned threads,
+                             trace::TraceRecorder *recorder = nullptr,
+                             CpuRunResult *timing = nullptr,
+                             MergeTransStats *stats = nullptr);
+
+} // namespace menda::baselines
+
+#endif // MENDA_BASELINES_MERGE_TRANS_HH

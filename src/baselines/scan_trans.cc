@@ -1,0 +1,185 @@
+#include "baselines/scan_trans.hh"
+
+#include <barrier>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace menda::baselines
+{
+
+namespace
+{
+
+/** Sequential-access trace folding: record one event per 64 B block. */
+struct SeqCursor
+{
+    Addr last = ~Addr(0);
+
+    void
+    touch(trace::TraceRecorder *rec, unsigned t, const void *ptr,
+          bool write)
+    {
+        if (!rec)
+            return;
+        const Addr block = blockAlign(reinterpret_cast<Addr>(ptr));
+        if (block != last) {
+            rec->access(t, ptr, write);
+            last = block;
+        }
+    }
+};
+
+} // namespace
+
+sparse::CscMatrix
+scanTrans(const sparse::CsrMatrix &a, unsigned threads,
+          trace::TraceRecorder *recorder, CpuRunResult *timing)
+{
+    menda_assert(threads > 0, "scanTrans needs at least one thread");
+    const std::uint64_t nnz = a.nnz();
+
+    sparse::CscMatrix out;
+    out.rows = a.rows;
+    out.cols = a.cols;
+    out.ptr.assign(static_cast<std::size_t>(a.cols) + 1, 0);
+    out.idx.resize(nnz);
+    out.val.resize(nnz);
+
+    // Expand row indices once (CSR gives columns; the scatter needs the
+    // source row of each non-zero). Wang et al. derive it on the fly
+    // from the row pointer; a per-chunk scan does the same work.
+    // Per-thread column histograms.
+    std::vector<std::vector<std::uint32_t>> counts(threads);
+    std::vector<std::vector<std::uint32_t>> offsets(threads);
+
+    std::barrier sync(static_cast<std::ptrdiff_t>(threads));
+
+    auto worker = [&](unsigned t) {
+        const std::uint64_t lo = nnz * t / threads;
+        const std::uint64_t hi = nnz * (t + 1) / threads;
+
+        // --- phase 1: histogram ---
+        counts[t].assign(static_cast<std::size_t>(a.cols) + 1, 0);
+        SeqCursor idx_seq;
+        for (std::uint64_t k = lo; k < hi; ++k) {
+            idx_seq.touch(recorder, t, &a.idx[k], false);
+            const Index c = a.idx[k];
+            if (recorder) {
+                recorder->access(t, &counts[t][c], false);
+                recorder->access(t, &counts[t][c], true);
+            }
+            ++counts[t][c];
+        }
+        if (recorder)
+            recorder->barrier(t);
+        sync.arrive_and_wait();
+
+        // --- phase 2: 2D prefix sum over a column stripe ---
+        const Index col_lo = static_cast<Index>(
+            std::uint64_t(a.cols) * t / threads);
+        const Index col_hi = static_cast<Index>(
+            std::uint64_t(a.cols) * (t + 1) / threads);
+        SeqCursor cnt_seq, ptr_seq;
+        for (Index c = col_lo; c < col_hi; ++c) {
+            std::uint32_t total = 0;
+            for (unsigned u = 0; u < threads; ++u) {
+                cnt_seq.touch(recorder, t, &counts[u][c], false);
+                total += counts[u][c];
+            }
+            ptr_seq.touch(recorder, t, &out.ptr[c + 1], true);
+            out.ptr[c + 1] = total; // per-column totals, pre-scan
+        }
+        if (recorder)
+            recorder->barrier(t);
+        sync.arrive_and_wait();
+
+        // Global exclusive scan of the column totals (done by thread 0,
+        // as in the reference implementation).
+        if (t == 0) {
+            // Totals were staged at ptr[c+1], so an inclusive scan makes
+            // ptr[c] the offset of column c's first non-zero.
+            SeqCursor scan_seq;
+            std::uint32_t running = 0;
+            for (Index c = 0; c <= a.cols; ++c) {
+                scan_seq.touch(recorder, 0, &out.ptr[c], true);
+                running += out.ptr[c];
+                out.ptr[c] = running;
+            }
+        }
+        if (recorder)
+            recorder->barrier(t);
+        sync.arrive_and_wait();
+
+        // Per-thread scatter offsets for this thread's column stripe.
+        offsets[t].assign(static_cast<std::size_t>(a.cols), 0);
+        if (recorder)
+            recorder->barrier(t);
+        sync.arrive_and_wait();
+        for (Index c = col_lo; c < col_hi; ++c) {
+            std::uint32_t base = out.ptr[c];
+            for (unsigned u = 0; u < threads; ++u) {
+                if (recorder) {
+                    recorder->access(t, &offsets[u][c], true);
+                    recorder->access(t, &counts[u][c], false);
+                }
+                offsets[u][c] = base;
+                base += counts[u][c];
+            }
+        }
+        if (recorder)
+            recorder->barrier(t);
+        sync.arrive_and_wait();
+
+        // --- phase 3: scatter ---
+        if (lo >= hi)
+            return; // no non-zeros assigned to this thread
+        // Locate the row of the first non-zero in this chunk.
+        Index row = 0;
+        while (a.ptr[row + 1] <= lo)
+            ++row;
+        SeqCursor idx2_seq, val_seq, rp_seq;
+        for (std::uint64_t k = lo; k < hi; ++k) {
+            while (a.ptr[row + 1] <= k) {
+                ++row;
+                rp_seq.touch(recorder, t, &a.ptr[row + 1], false);
+            }
+            idx2_seq.touch(recorder, t, &a.idx[k], false);
+            val_seq.touch(recorder, t, &a.val[k], false);
+            const Index c = a.idx[k];
+            if (recorder) {
+                recorder->access(t, &offsets[t][c], false);
+                recorder->access(t, &offsets[t][c], true);
+            }
+            const std::uint32_t dst = offsets[t][c]++;
+            if (recorder) {
+                recorder->access(t, &out.idx[dst], true);
+                recorder->access(t, &out.val[dst], true);
+            }
+            out.idx[dst] = row;
+            out.val[dst] = a.val[k];
+        }
+    };
+
+    const auto start = std::chrono::steady_clock::now();
+    if (threads == 1) {
+        worker(0);
+    } else {
+        std::vector<std::thread> pool;
+        for (unsigned t = 0; t < threads; ++t)
+            pool.emplace_back(worker, t);
+        for (auto &th : pool)
+            th.join();
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    if (timing) {
+        timing->seconds =
+            std::chrono::duration<double>(stop - start).count();
+        timing->threads = threads;
+    }
+    return out;
+}
+
+} // namespace menda::baselines

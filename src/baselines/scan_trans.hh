@@ -1,0 +1,47 @@
+/**
+ * @file
+ * scanTrans — the count-sort ("scan") based parallel sparse matrix
+ * transposition of Wang et al., ICS'16, one of the two CPU baselines of
+ * Fig. 10.
+ *
+ * Three phases separated by barriers:
+ *   1. each thread histograms the column indices of its NNZ chunk into a
+ *      private count array;
+ *   2. a two-dimensional prefix sum (across threads, then across
+ *      columns) turns the histograms into per-thread scatter offsets;
+ *   3. each thread re-reads its chunk and scatters every non-zero to its
+ *      final CSC position.
+ *
+ * The scatter in phase 3 is the random-access pattern that makes
+ * scanTrans memory-latency bound on large matrices.
+ */
+
+#ifndef MENDA_BASELINES_SCAN_TRANS_HH
+#define MENDA_BASELINES_SCAN_TRANS_HH
+
+#include "sparse/format.hh"
+#include "trace/recorder.hh"
+
+namespace menda::baselines
+{
+
+/** Timing/trace knobs for a baseline run. */
+struct CpuRunResult
+{
+    double seconds = 0.0;      ///< native wall-clock time
+    unsigned threads = 0;
+};
+
+/**
+ * Transpose @p a with @p threads worker threads.
+ * @param recorder  optional: capture per-thread memory traces (slower;
+ *                  used for the Sec. 2.2 characterization)
+ * @param timing    optional: native wall-clock seconds
+ */
+sparse::CscMatrix scanTrans(const sparse::CsrMatrix &a, unsigned threads,
+                            trace::TraceRecorder *recorder = nullptr,
+                            CpuRunResult *timing = nullptr);
+
+} // namespace menda::baselines
+
+#endif // MENDA_BASELINES_SCAN_TRANS_HH

@@ -1,0 +1,168 @@
+#include "cache/cache.hh"
+
+#include "common/log.hh"
+
+namespace menda::cache
+{
+
+Cache::Cache(std::uint64_t size_bytes, unsigned associativity)
+    : ways_(associativity)
+{
+    const std::uint64_t lines = size_bytes / blockBytes;
+    menda_assert(lines >= associativity, "cache smaller than one set");
+    sets_ = static_cast<unsigned>(lines / associativity);
+    menda_assert(sets_ > 0, "cache needs at least one set");
+    lines_.assign(static_cast<std::size_t>(sets_) * ways_, Line{});
+}
+
+Cache::AccessResult
+Cache::access(Addr addr, bool write)
+{
+    // Modulo indexing supports non-power-of-two set counts (the 3 MB
+    // L3 of Tab. 1 has 6144 sets).
+    const Addr block = addr / blockBytes;
+    const unsigned set = static_cast<unsigned>(block % sets_);
+    const Addr tag = block / sets_;
+    Line *base = &lines_[static_cast<std::size_t>(set) * ways_];
+    ++useClock_;
+
+    AccessResult result;
+    Line *victim = base;
+    for (unsigned w = 0; w < ways_; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = useClock_;
+            line.dirty |= write;
+            result.hit = true;
+            ++hits_;
+            return result;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lastUse < victim->lastUse) {
+            victim = &line;
+        }
+    }
+
+    ++misses_;
+    if (victim->valid && victim->dirty) {
+        result.writeback = true;
+        result.evictedAddr = (victim->tag * sets_ + set) * blockBytes;
+        ++writebacks_;
+    }
+    victim->valid = true;
+    victim->dirty = write;
+    victim->tag = tag;
+    victim->lastUse = useClock_;
+    return result;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    const Addr block = addr / blockBytes;
+    const unsigned set = static_cast<unsigned>(block % sets_);
+    const Addr tag = block / sets_;
+    const Line *base = &lines_[static_cast<std::size_t>(set) * ways_];
+    for (unsigned w = 0; w < ways_; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::reset()
+{
+    for (Line &line : lines_)
+        line = Line{};
+}
+
+Hierarchy::Hierarchy(const Config &config, unsigned threads)
+    : config_(config), threadsPerCluster_(config.threadsPerCluster)
+{
+    const unsigned clusters =
+        (threads + threadsPerCluster_ - 1) / threadsPerCluster_;
+    for (unsigned t = 0; t < threads; ++t) {
+        l1_.emplace_back(config.l1Bytes, config.associativity);
+        l2_.emplace_back(config.l2Bytes, config.associativity);
+    }
+    for (unsigned c = 0; c < clusters; ++c)
+        l3_.emplace_back(config.l3Bytes, config.associativity);
+}
+
+Hierarchy::Outcome
+Hierarchy::access(unsigned thread, Addr addr, bool write)
+{
+    Outcome out;
+    const Addr block = blockAlign(addr);
+    Cache &l1 = l1_[thread];
+    Cache &l2 = l2_[thread];
+    Cache &l3 = l3_[thread / threadsPerCluster_];
+
+    auto r1 = l1.access(block, write);
+    if (r1.hit) {
+        out.level = 1;
+        out.latency = config_.l1LatencyCycles;
+        return out;
+    }
+    // L1 victim writes back into L2.
+    if (r1.writeback) {
+        auto wb = l2.access(r1.evictedAddr, true);
+        if (wb.writeback)
+            out.dramWrites.push_back(wb.evictedAddr); // skipped L3: rare
+    }
+    auto r2 = l2.access(block, write);
+    if (r2.hit) {
+        out.level = 2;
+        out.latency = config_.l2LatencyCycles;
+        return out;
+    }
+    if (r2.writeback) {
+        auto wb = l3.access(r2.evictedAddr, true);
+        if (wb.writeback)
+            out.dramWrites.push_back(wb.evictedAddr);
+    }
+    auto r3 = l3.access(block, write);
+    if (r3.hit) {
+        out.level = 3;
+        out.latency = config_.l3LatencyCycles;
+        return out;
+    }
+    if (r3.writeback)
+        out.dramWrites.push_back(r3.evictedAddr);
+
+    out.level = 4;
+    out.latency = config_.l3LatencyCycles;
+    out.dramRead = true;
+    ++dramAccesses_;
+    return out;
+}
+
+std::uint64_t
+Hierarchy::l1Hits() const
+{
+    std::uint64_t total = 0;
+    for (const Cache &cache : l1_)
+        total += cache.hits();
+    return total;
+}
+
+std::uint64_t
+Hierarchy::l2Hits() const
+{
+    std::uint64_t total = 0;
+    for (const Cache &cache : l2_)
+        total += cache.hits();
+    return total;
+}
+
+std::uint64_t
+Hierarchy::l3Hits() const
+{
+    std::uint64_t total = 0;
+    for (const Cache &cache : l3_)
+        total += cache.hits();
+    return total;
+}
+
+} // namespace menda::cache

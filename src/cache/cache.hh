@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Set-associative write-back caches and the three-level hierarchy used
+ * to replay CPU baseline traces (Tab. 1: 32 KB L1 / 256 KB L2 / 3 MB L3,
+ * 64 B blocks, 8-way, 16 MSHR entries per core).
+ */
+
+#ifndef MENDA_CACHE_CACHE_HH
+#define MENDA_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace menda::cache
+{
+
+/** One set-associative, true-LRU, write-back, write-allocate cache. */
+class Cache
+{
+  public:
+    struct AccessResult
+    {
+        bool hit = false;
+        bool writeback = false; ///< a dirty block was evicted
+        Addr evictedAddr = 0;   ///< block address of the victim
+    };
+
+    Cache(std::uint64_t size_bytes, unsigned associativity);
+
+    /** Look up @p addr; allocate on miss; update LRU and dirty bits. */
+    AccessResult access(Addr addr, bool write);
+
+    /** Probe without side effects. */
+    bool contains(Addr addr) const;
+
+    /** Invalidate everything (between replay experiments). */
+    void reset();
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+    std::uint64_t writebacks() const { return writebacks_.value(); }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    unsigned sets_;
+    unsigned ways_;
+    std::uint64_t useClock_ = 0;
+    std::vector<Line> lines_;
+
+    Counter hits_, misses_, writebacks_;
+};
+
+/**
+ * Private L1+L2 per thread, L3 shared within a cluster of threads
+ * (modeling the CCX structure of the baseline CPU). Returns where an
+ * access was satisfied and any DRAM traffic it generated.
+ */
+class Hierarchy
+{
+  public:
+    struct Config
+    {
+        std::uint64_t l1Bytes = 32 * 1024;
+        std::uint64_t l2Bytes = 256 * 1024;
+        std::uint64_t l3Bytes = 3 * 1024 * 1024;
+        unsigned associativity = 8;
+        unsigned threadsPerCluster = 8;
+        unsigned l1LatencyCycles = 4;
+        unsigned l2LatencyCycles = 12;
+        unsigned l3LatencyCycles = 38;
+    };
+
+    struct Outcome
+    {
+        unsigned level = 0;       ///< 1, 2, 3 = hit level; 4 = DRAM
+        unsigned latency = 0;     ///< on-chip latency component
+        bool dramRead = false;    ///< must fetch the block from DRAM
+        std::vector<Addr> dramWrites; ///< dirty writebacks to DRAM
+    };
+
+    Hierarchy(const Config &config, unsigned threads);
+
+    Outcome access(unsigned thread, Addr addr, bool write);
+
+    std::uint64_t l1Hits() const;
+    std::uint64_t l2Hits() const;
+    std::uint64_t l3Hits() const;
+    std::uint64_t dramAccesses() const { return dramAccesses_.value(); }
+
+  private:
+    Config config_;
+    std::vector<Cache> l1_, l2_, l3_;
+    unsigned threadsPerCluster_;
+    Counter dramAccesses_;
+};
+
+} // namespace menda::cache
+
+#endif // MENDA_CACHE_CACHE_HH

@@ -1,0 +1,88 @@
+#include "common/config.hh"
+
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace menda
+{
+
+void
+Options::parse(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg(argv[i]);
+        if (arg.rfind("--", 0) == 0) {
+            auto eq = arg.find('=');
+            if (eq == std::string::npos) {
+                values_[arg.substr(2)] = "1";
+            } else {
+                values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+            }
+        } else {
+            positional_[i] = arg;
+        }
+    }
+}
+
+bool
+Options::has(const std::string &key) const
+{
+    return values_.count(key) != 0;
+}
+
+std::string
+Options::get(const std::string &key, const std::string &fallback) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t
+Options::getInt(const std::string &key, std::int64_t fallback) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    char *end = nullptr;
+    long long v = std::strtoll(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0')
+        menda_fatal("option --", key, " expects an integer, got '",
+                    it->second, "'");
+    return v;
+}
+
+double
+Options::getDouble(const std::string &key, double fallback) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        menda_fatal("option --", key, " expects a number, got '",
+                    it->second, "'");
+    return v;
+}
+
+std::uint64_t
+Options::scale(std::uint64_t fallback) const
+{
+    if (has("scale")) {
+        auto v = getInt("scale", static_cast<std::int64_t>(fallback));
+        if (v < 1)
+            menda_fatal("--scale must be >= 1");
+        return static_cast<std::uint64_t>(v);
+    }
+    if (const char *env = std::getenv("MENDA_BENCH_SCALE")) {
+        char *end = nullptr;
+        long long v = std::strtoll(env, &end, 0);
+        if (end != env && *end == '\0' && v >= 1)
+            return static_cast<std::uint64_t>(v);
+        menda_warn("ignoring malformed MENDA_BENCH_SCALE='", env, "'");
+    }
+    return fallback;
+}
+
+} // namespace menda

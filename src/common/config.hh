@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Simple key-value configuration store used by benches and examples to
+ * parse "--key=value" command line options and environment overrides.
+ */
+
+#ifndef MENDA_COMMON_CONFIG_HH
+#define MENDA_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace menda
+{
+
+/**
+ * Command-line/environment option parser.
+ *
+ * Recognized argument forms: "--key=value" and "--flag" (value "1").
+ * Unrecognized positional arguments are kept in positional().
+ */
+class Options
+{
+  public:
+    Options() = default;
+
+    /** Parse argv-style options. Throws on malformed "--" arguments. */
+    void parse(int argc, const char *const *argv);
+
+    /** True if @p key was supplied. */
+    bool has(const std::string &key) const;
+
+    /** String value or @p fallback. */
+    std::string get(const std::string &key,
+                    const std::string &fallback = "") const;
+
+    /** Integer value or @p fallback; menda_fatal on non-numeric. */
+    std::int64_t getInt(const std::string &key, std::int64_t fallback) const;
+
+    /** Double value or @p fallback; menda_fatal on non-numeric. */
+    double getDouble(const std::string &key, double fallback) const;
+
+    /** Positional (non "--") arguments in order. */
+    const std::map<int, std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    /**
+     * Benchmark scale divisor: --scale if given, else MENDA_BENCH_SCALE
+     * env var, else @p fallback. Matrix dimensions and NNZ in benches are
+     * divided by this to keep default runs quick (see DESIGN.md §4).
+     */
+    std::uint64_t scale(std::uint64_t fallback = 8) const;
+
+  private:
+    std::map<std::string, std::string> values_;
+    std::map<int, std::string> positional_;
+};
+
+} // namespace menda
+
+#endif // MENDA_COMMON_CONFIG_HH

@@ -1,0 +1,61 @@
+#include "common/log.hh"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace menda
+{
+
+namespace
+{
+
+LogLevel
+initialLevel()
+{
+    const char *env = std::getenv("MENDA_LOG");
+    if (!env)
+        return LogLevel::Quiet;
+    switch (env[0]) {
+      case '0': case 'q': case 'Q': return LogLevel::Quiet;
+      case '2': case 'd': case 'D': return LogLevel::Debug;
+      default: return LogLevel::Info;
+    }
+}
+
+LogLevel globalLevel = initialLevel();
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+namespace detail
+{
+
+void
+failImpl(const char *kind, const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s (%s:%d)\n", kind, msg.c_str(), file, line);
+    std::fflush(stderr);
+    // Throwing lets tests exercise failure paths; uncaught it terminates.
+    throw std::runtime_error(std::string(kind) + ": " + msg);
+}
+
+void
+messageImpl(const char *kind, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", kind, msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace menda

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Minimal logging and error-reporting facilities, in the spirit of
+ * gem5's logging.hh: fatal() for user errors, panic() for internal bugs,
+ * warn()/inform() for status messages.
+ */
+
+#ifndef MENDA_COMMON_LOG_HH
+#define MENDA_COMMON_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace menda
+{
+
+/** Verbosity levels for runtime logging. */
+enum class LogLevel
+{
+    Quiet = 0,
+    Info = 1,
+    Debug = 2,
+};
+
+/** Global log level; settable via MENDA_LOG env var or setLogLevel(). */
+LogLevel logLevel();
+
+/** Override the global log level. */
+void setLogLevel(LogLevel level);
+
+namespace detail
+{
+
+[[noreturn]] void failImpl(const char *kind, const char *file, int line,
+                           const std::string &msg);
+
+void messageImpl(const char *kind, const std::string &msg);
+
+template <typename... Args>
+std::string
+formatArgs(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Abort simulation because of an internal inconsistency (a simulator bug).
+ */
+#define menda_panic(...)                                                     \
+    ::menda::detail::failImpl("panic", __FILE__, __LINE__,                   \
+                              ::menda::detail::formatArgs(__VA_ARGS__))
+
+/**
+ * Exit because the simulation cannot continue due to a user-facing error
+ * (bad configuration, invalid input matrix, ...).
+ */
+#define menda_fatal(...)                                                     \
+    ::menda::detail::failImpl("fatal", __FILE__, __LINE__,                   \
+                              ::menda::detail::formatArgs(__VA_ARGS__))
+
+/** Warn about suspicious but non-fatal conditions. */
+#define menda_warn(...)                                                      \
+    ::menda::detail::messageImpl("warn",                                     \
+                                 ::menda::detail::formatArgs(__VA_ARGS__))
+
+/** Informational status message (suppressed at LogLevel::Quiet). */
+#define menda_inform(...)                                                    \
+    do {                                                                     \
+        if (::menda::logLevel() >= ::menda::LogLevel::Info)                  \
+            ::menda::detail::messageImpl(                                    \
+                "info", ::menda::detail::formatArgs(__VA_ARGS__));           \
+    } while (0)
+
+/** Assert an invariant that indicates a simulator bug when violated. */
+#define menda_assert(cond, ...)                                              \
+    do {                                                                     \
+        if (!(cond))                                                         \
+            menda_panic("assertion failed: " #cond " ", ##__VA_ARGS__);      \
+    } while (0)
+
+} // namespace menda
+
+#endif // MENDA_COMMON_LOG_HH

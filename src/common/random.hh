@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * All matrix generators use this RNG so that every experiment is exactly
+ * reproducible across runs and platforms (std::mt19937_64 distributions are
+ * not guaranteed portable; we implement our own bounded draws).
+ */
+
+#ifndef MENDA_COMMON_RANDOM_HH
+#define MENDA_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace menda
+{
+
+/**
+ * xoshiro256** generator. Small, fast, and with a portable, fully
+ * specified output sequence.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed via splitmix64. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        for (auto &word : state_)
+            word = splitmix64(seed);
+    }
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's nearly-divisionless bounded draw (biased by < 2^-64
+        // per draw which is irrelevant for workload generation).
+        const unsigned __int128 product =
+            static_cast<unsigned __int128>(next()) * bound;
+        return static_cast<std::uint64_t>(product >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform float value usable as a matrix non-zero in [-1, 1]. */
+    float
+    value()
+    {
+        return static_cast<float>(uniform() * 2.0 - 1.0);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static std::uint64_t
+    splitmix64(std::uint64_t &state)
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace menda
+
+#endif // MENDA_COMMON_RANDOM_HH

@@ -1,0 +1,60 @@
+#include "common/stats.hh"
+
+namespace menda
+{
+
+void
+StatGroup::add(const std::string &stat_name, const Counter &counter)
+{
+    counters_.emplace_back(stat_name, &counter);
+}
+
+void
+StatGroup::add(const std::string &stat_name, double *value)
+{
+    scalars_.emplace_back(stat_name, value);
+}
+
+void
+StatGroup::addChild(const StatGroup &child)
+{
+    children_.push_back(&child);
+}
+
+std::map<std::string, double>
+StatGroup::collect() const
+{
+    std::map<std::string, double> out;
+    for (const auto &[stat_name, counter] : counters_)
+        out[name_ + "." + stat_name] =
+            static_cast<double>(counter->value());
+    for (const auto &[stat_name, value] : scalars_)
+        out[name_ + "." + stat_name] = *value;
+    for (const StatGroup *child : children_)
+        for (const auto &[child_name, value] : child->collect())
+            out[name_ + "." + child_name] = value;
+    return out;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[stat_name, value] : collect())
+        os << stat_name << " " << value << "\n";
+}
+
+void
+StatGroup::dumpJson(std::ostream &os) const
+{
+    os << "{";
+    bool first = true;
+    for (const auto &[stat_name, value] : collect()) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << stat_name << "\":" << value;
+    }
+    os << "}";
+}
+
+} // namespace menda

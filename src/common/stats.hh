@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Lightweight statistics registry.
+ *
+ * Simulator components own Counter/Scalar statistics and register them in a
+ * StatGroup so harnesses can dump name → value tables without knowing the
+ * component internals.
+ */
+
+#ifndef MENDA_COMMON_STATS_HH
+#define MENDA_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace menda
+{
+
+/** A named 64-bit event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+    void reset() { value_ = 0; }
+
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * A flat registry of statistics belonging to one component instance.
+ * Children may be attached to build hierarchical names ("pu0.tree.pops").
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Register a counter under @p stat_name. The counter must outlive us. */
+    void add(const std::string &stat_name, const Counter &counter);
+
+    /** Register a derived (computed on demand) floating point stat. */
+    void add(const std::string &stat_name, double *value);
+
+    /** Attach a child group; its stats are prefixed with its name. */
+    void addChild(const StatGroup &child);
+
+    const std::string &name() const { return name_; }
+
+    /** Collect all stats (recursively) as fully-qualified name → value. */
+    std::map<std::string, double> collect() const;
+
+    /** Pretty-print all stats to @p os, one per line. */
+    void dump(std::ostream &os) const;
+
+    /** Emit all stats as a flat JSON object. */
+    void dumpJson(std::ostream &os) const;
+
+  private:
+    std::string name_;
+    std::vector<std::pair<std::string, const Counter *>> counters_;
+    std::vector<std::pair<std::string, const double *>> scalars_;
+    std::vector<const StatGroup *> children_;
+};
+
+} // namespace menda
+
+#endif // MENDA_COMMON_STATS_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the MeNDA code base.
+ */
+
+#ifndef MENDA_COMMON_TYPES_HH
+#define MENDA_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace menda
+{
+
+/** Simulation tick. One tick is one period of the base (LCM) clock. */
+using Tick = std::uint64_t;
+
+/** Cycle count within one clock domain. */
+using Cycle = std::uint64_t;
+
+/** Physical (simulated) memory address in bytes. */
+using Addr = std::uint64_t;
+
+/** Matrix row/column index. The paper uses 32-bit indices in packets. */
+using Index = std::uint32_t;
+
+/** Non-zero value. The paper streams 32-bit values. */
+using Value = float;
+
+/** Size of one memory block / DRAM access granularity (bytes). */
+inline constexpr Addr blockBytes = 64;
+
+/** Default OS page size used by the page-coloring allocator (bytes). */
+inline constexpr Addr pageBytes = 4096;
+
+/** Align @p addr down to the containing 64 B memory block. */
+constexpr Addr
+blockAlign(Addr addr)
+{
+    return addr & ~(blockBytes - 1);
+}
+
+/** Align @p addr up to the next 64 B block boundary. */
+constexpr Addr
+blockAlignUp(Addr addr)
+{
+    return (addr + blockBytes - 1) & ~(blockBytes - 1);
+}
+
+/** Number of 64 B blocks needed to hold @p bytes starting at @p addr. */
+constexpr std::uint64_t
+blocksSpanned(Addr addr, Addr bytes)
+{
+    if (bytes == 0)
+        return 0;
+    return (blockAlign(addr + bytes - 1) - blockAlign(addr)) / blockBytes + 1;
+}
+
+} // namespace menda
+
+#endif // MENDA_COMMON_TYPES_HH

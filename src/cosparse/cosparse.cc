@@ -1,0 +1,405 @@
+#include "cosparse/cosparse.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/log.hh"
+
+namespace menda::cosparse
+{
+
+namespace
+{
+
+/** Positive edge weight derived from the stored value. */
+double
+weightOf(Value v)
+{
+    return 1.0 + std::abs(static_cast<double>(v));
+}
+
+/** Folded sequential recording, as in the CPU baselines. */
+struct SeqCursor
+{
+    Addr last = ~Addr(0);
+
+    void
+    touch(trace::TraceRecorder &rec, unsigned pe, Addr addr, bool write)
+    {
+        const Addr block = blockAlign(addr);
+        if (block != last) {
+            rec.access(pe, reinterpret_cast<const void *>(block), write);
+            last = block;
+        }
+    }
+};
+
+} // namespace
+
+CosparseFramework::CosparseFramework(sparse::CsrMatrix graph,
+                                     const CosparseConfig &config)
+    : config_(config), a_(std::move(graph)),
+      at_(sparse::transposeReference(a_))
+{
+    // Synthetic physical layout; 1 GiB strides keep regions disjoint.
+    const Addr gib = 1ull << 30;
+    baseRowPtr_ = 1 * gib;
+    baseIdx_ = 2 * gib;
+    baseVal_ = 3 * gib;
+    baseVec_ = 4 * gib;
+    baseOut_ = 5 * gib;
+    baseColPtr_ = 6 * gib;
+    baseColIdx_ = 7 * gib;
+    baseColVal_ = 8 * gib;
+}
+
+Addr
+CosparseFramework::mapAddr(Addr base, std::uint64_t index,
+                           std::uint64_t element_bytes,
+                           std::uint64_t total_elements) const
+{
+    if (!config_.mendaMapping || total_elements == 0)
+        return base + index * element_bytes;
+    // MeNDA's layout (Sec. 3.5): the array is cut into `ranks`
+    // NNZ-contiguous chunks and page coloring pins each chunk's pages to
+    // its rank. We emulate the colored allocator against the DRAM
+    // decoder's bit layout: rank bits sit at page-frame bits [5, 5+log2
+    // ranks), so the n-th page of rank r maps to frame
+    // ((n / 32) * 32 * ranks) | (r * 32) | (n % 32).
+    const std::uint64_t chunk =
+        (total_elements + config_.ranks - 1) / config_.ranks;
+    const std::uint64_t rank = std::min<std::uint64_t>(index / chunk,
+                                                       config_.ranks - 1);
+    const std::uint64_t within = index - rank * chunk;
+    const Addr byte = within * element_bytes;
+    const std::uint64_t page = (base >> 12) + (byte >> 12);
+    const std::uint64_t frame = ((page >> 5) * 32 * config_.ranks) |
+                                (rank * 32) | (page & 31);
+    return (frame << 12) | (byte & 0xfff);
+}
+
+double
+CosparseFramework::timeDenseIteration()
+{
+    // Pull-style inner-product SpMV over the CSC representation: every
+    // PE sweeps an NNZ-balanced span of columns, streaming (index,
+    // value) and gathering the source-vertex vector elements.
+    trace::TraceRecorder rec(config_.pes());
+    const std::uint64_t nnz = at_.nnz();
+    std::vector<SeqCursor> ptr_cur(config_.pes()), idx_cur(config_.pes()),
+        val_cur(config_.pes()), out_cur(config_.pes());
+
+    // Split columns by nnz share.
+    unsigned pe = 0;
+    std::uint64_t quota = (nnz + config_.pes() - 1) / config_.pes();
+    std::uint64_t used = 0;
+    for (Index c = 0; c < at_.cols; ++c) {
+        ptr_cur[pe].touch(rec, pe,
+                          mapAddr(baseColPtr_, c, 4, at_.cols + 1), false);
+        for (std::uint32_t k = at_.ptr[c]; k < at_.ptr[c + 1]; ++k) {
+            idx_cur[pe].touch(rec, pe, mapAddr(baseColIdx_, k, 4, nnz),
+                              false);
+            val_cur[pe].touch(rec, pe, mapAddr(baseColVal_, k, 4, nnz),
+                              false);
+            // Gather of the source vector element: irregular.
+            rec.access(pe, reinterpret_cast<const void *>(
+                               mapAddr(baseVec_, at_.idx[k], 4, at_.rows)),
+                       false);
+            ++used;
+        }
+        out_cur[pe].touch(rec, pe, mapAddr(baseOut_, c, 4, at_.cols),
+                          true);
+        if (used >= quota && pe + 1 < config_.pes()) {
+            ++pe;
+            used = 0;
+        }
+    }
+    return trace::replayTrace(rec, config_.replay).seconds;
+}
+
+double
+CosparseFramework::timeSparseIteration(const std::vector<Index> &frontier)
+{
+    // Push-style outer-product: active vertices' rows stream out and
+    // scatter updates to the destination vector.
+    trace::TraceRecorder rec(config_.pes());
+    std::vector<SeqCursor> idx_cur(config_.pes()), val_cur(config_.pes());
+    const std::uint64_t nnz = a_.nnz();
+    unsigned pe = 0;
+    for (Index u : frontier) {
+        rec.access(pe, reinterpret_cast<const void *>(
+                           mapAddr(baseRowPtr_, u, 4, a_.rows + 1)),
+                   false);
+        for (std::uint32_t k = a_.ptr[u]; k < a_.ptr[u + 1]; ++k) {
+            idx_cur[pe].touch(rec, pe, mapAddr(baseIdx_, k, 4, nnz),
+                              false);
+            val_cur[pe].touch(rec, pe, mapAddr(baseVal_, k, 4, nnz),
+                              false);
+            rec.access(pe, reinterpret_cast<const void *>(
+                               mapAddr(baseOut_, a_.idx[k], 4, a_.cols)),
+                       true);
+        }
+        pe = (pe + 1) % config_.pes();
+    }
+    return trace::replayTrace(rec, config_.replay).seconds;
+}
+
+SsspResult
+CosparseFramework::sssp(Index source)
+{
+    menda_assert(source < a_.rows, "SSSP source out of range");
+    SsspResult result;
+    const double inf = std::numeric_limits<double>::infinity();
+    result.distance.assign(a_.rows, inf);
+    result.distance[source] = 0.0;
+
+    std::vector<Index> frontier{source};
+    bool was_dense = false;
+    bool first = true;
+    double dense_time = -1.0;
+
+    while (!frontier.empty()) {
+        const bool dense =
+            frontier.size() >
+            static_cast<std::uint64_t>(config_.denseThreshold * a_.rows);
+        if (!first && dense != was_dense)
+            ++result.directionSwitches;
+        first = false;
+        was_dense = dense;
+
+        IterationRecord record;
+        record.dense = dense;
+        record.frontier = frontier.size();
+
+        std::vector<char> changed(a_.rows, 0);
+        if (dense) {
+            // Pull: every vertex scans its in-edges.
+            for (Index v = 0; v < a_.rows; ++v) {
+                for (std::uint32_t k = at_.ptr[v]; k < at_.ptr[v + 1];
+                     ++k) {
+                    const Index u = at_.idx[k];
+                    const double cand =
+                        result.distance[u] + weightOf(at_.val[k]);
+                    if (cand < result.distance[v]) {
+                        result.distance[v] = cand;
+                        changed[v] = 1;
+                    }
+                }
+            }
+            if (dense_time < 0.0)
+                dense_time = timeDenseIteration();
+            record.seconds = dense_time;
+            result.denseSeconds += record.seconds;
+            ++result.denseIterations;
+        } else {
+            // Push: frontier vertices relax their out-edges.
+            for (Index u : frontier) {
+                for (std::uint32_t k = a_.ptr[u]; k < a_.ptr[u + 1];
+                     ++k) {
+                    const Index v = a_.idx[k];
+                    const double cand =
+                        result.distance[u] + weightOf(a_.val[k]);
+                    if (cand < result.distance[v]) {
+                        result.distance[v] = cand;
+                        changed[v] = 1;
+                    }
+                }
+            }
+            record.seconds = timeSparseIteration(frontier);
+            result.sparseSeconds += record.seconds;
+            ++result.sparseIterations;
+        }
+
+        frontier.clear();
+        for (Index v = 0; v < a_.rows; ++v)
+            if (changed[v])
+                frontier.push_back(v);
+        result.iterations.push_back(record);
+    }
+    return result;
+}
+
+BfsResult
+CosparseFramework::bfs(Index source)
+{
+    menda_assert(source < a_.rows, "BFS source out of range");
+    BfsResult result;
+    result.depth.assign(a_.rows, -1);
+    result.depth[source] = 0;
+
+    std::vector<Index> frontier{source};
+    bool was_dense = false, first = true;
+    double dense_time = -1.0;
+    std::int64_t depth = 0;
+
+    while (!frontier.empty()) {
+        const bool dense =
+            frontier.size() >
+            static_cast<std::uint64_t>(config_.denseThreshold * a_.rows);
+        if (!first && dense != was_dense)
+            ++result.directionSwitches;
+        first = false;
+        was_dense = dense;
+
+        IterationRecord record;
+        record.dense = dense;
+        record.frontier = frontier.size();
+        std::vector<Index> next;
+        if (dense) {
+            for (Index v = 0; v < a_.rows; ++v) {
+                if (result.depth[v] != -1)
+                    continue;
+                for (std::uint32_t k = at_.ptr[v]; k < at_.ptr[v + 1];
+                     ++k) {
+                    if (result.depth[at_.idx[k]] == depth) {
+                        result.depth[v] = depth + 1;
+                        next.push_back(v);
+                        break;
+                    }
+                }
+            }
+            if (dense_time < 0.0)
+                dense_time = timeDenseIteration();
+            record.seconds = dense_time;
+            result.denseSeconds += record.seconds;
+            ++result.denseIterations;
+        } else {
+            for (Index u : frontier) {
+                for (std::uint32_t k = a_.ptr[u]; k < a_.ptr[u + 1];
+                     ++k) {
+                    const Index v = a_.idx[k];
+                    if (result.depth[v] == -1) {
+                        result.depth[v] = depth + 1;
+                        next.push_back(v);
+                    }
+                }
+            }
+            record.seconds = timeSparseIteration(frontier);
+            result.sparseSeconds += record.seconds;
+            ++result.sparseIterations;
+        }
+        std::sort(next.begin(), next.end());
+        next.erase(std::unique(next.begin(), next.end()), next.end());
+        frontier = std::move(next);
+        ++depth;
+        result.iterations.push_back(record);
+    }
+    return result;
+}
+
+ComponentsResult
+CosparseFramework::connectedComponents()
+{
+    // Min-label propagation over the *undirected* structure (an edge in
+    // either direction joins two vertices' components), expressed as
+    // iterated (min, select) SpMV — CoSPARSE switches direction exactly
+    // as for SSSP.
+    ComponentsResult result;
+    result.component.resize(a_.rows);
+    for (Index v = 0; v < a_.rows; ++v)
+        result.component[v] = v;
+
+    std::vector<Index> frontier(a_.rows);
+    for (Index v = 0; v < a_.rows; ++v)
+        frontier[v] = v;
+    bool was_dense = false, first = true;
+    double dense_time = -1.0;
+
+    while (!frontier.empty()) {
+        const bool dense =
+            frontier.size() >
+            static_cast<std::uint64_t>(config_.denseThreshold * a_.rows);
+        if (!first && dense != was_dense)
+            ++result.directionSwitches;
+        first = false;
+        was_dense = dense;
+
+        IterationRecord record;
+        record.dense = dense;
+        record.frontier = frontier.size();
+
+        std::vector<char> changed(a_.rows, 0);
+        auto relax = [&](Index u, Index v) {
+            const Index label = result.component[u];
+            if (label < result.component[v]) {
+                result.component[v] = label;
+                changed[v] = 1;
+            }
+        };
+        if (dense) {
+            for (Index v = 0; v < a_.rows; ++v)
+                for (std::uint32_t k = at_.ptr[v]; k < at_.ptr[v + 1];
+                     ++k)
+                    relax(at_.idx[k], v);
+            for (Index u = 0; u < a_.rows; ++u)
+                for (std::uint32_t k = a_.ptr[u]; k < a_.ptr[u + 1];
+                     ++k)
+                    relax(a_.idx[k], u);
+            if (dense_time < 0.0)
+                dense_time = timeDenseIteration();
+            record.seconds = dense_time;
+            result.denseSeconds += record.seconds;
+            ++result.denseIterations;
+        } else {
+            for (Index u : frontier) {
+                for (std::uint32_t k = a_.ptr[u]; k < a_.ptr[u + 1];
+                     ++k)
+                    relax(u, a_.idx[k]);
+                for (std::uint32_t k = at_.ptr[u]; k < at_.ptr[u + 1];
+                     ++k)
+                    relax(u, at_.idx[k]);
+            }
+            record.seconds = timeSparseIteration(frontier);
+            result.sparseSeconds += record.seconds;
+            ++result.sparseIterations;
+        }
+
+        frontier.clear();
+        for (Index v = 0; v < a_.rows; ++v)
+            if (changed[v])
+                frontier.push_back(v);
+        result.iterations.push_back(record);
+    }
+
+    for (Index v = 0; v < a_.rows; ++v)
+        result.count += result.component[v] == v;
+    return result;
+}
+
+PageRankResult
+CosparseFramework::pagerank(unsigned iterations, double damping)
+{
+    PageRankResult result;
+    const double n = static_cast<double>(a_.rows);
+    result.rank.assign(a_.rows, 1.0 / n);
+    std::vector<double> outdeg(a_.rows, 0.0);
+    for (Index u = 0; u < a_.rows; ++u)
+        outdeg[u] = static_cast<double>(a_.ptr[u + 1] - a_.ptr[u]);
+
+    double dense_time = -1.0;
+    for (unsigned it = 0; it < iterations; ++it) {
+        std::vector<double> next(a_.rows, (1.0 - damping) / n);
+        for (Index v = 0; v < a_.rows; ++v) {
+            for (std::uint32_t k = at_.ptr[v]; k < at_.ptr[v + 1]; ++k) {
+                const Index u = at_.idx[k];
+                if (outdeg[u] > 0.0)
+                    next[v] += damping * result.rank[u] / outdeg[u];
+            }
+        }
+        result.rank = std::move(next);
+
+        IterationRecord record;
+        record.dense = true;
+        record.frontier = a_.rows;
+        if (dense_time < 0.0)
+            dense_time = timeDenseIteration();
+        record.seconds = dense_time;
+        result.denseSeconds += record.seconds;
+        ++result.denseIterations;
+        result.iterations.push_back(record);
+    }
+    return result;
+}
+
+} // namespace menda::cosparse

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * CoSPARSE-style reconfigurable SpMV graph framework (Sec. 4.1, Fig. 8b).
+ *
+ * CoSPARSE (Feng et al., DAC'21) runs graph algorithms as iterated SpMV
+ * on a reconfigurable substrate of A tiles x B PEs (8x16 in the paper's
+ * integration study) and switches direction per iteration, Beamer-style:
+ *
+ *   - dense iterations: inner-product SpMV over row-major data (the
+ *     original graph A), touching every vertex;
+ *   - sparse iterations: outer-product SpMV over CSC data (Aᵀ),
+ *     touching only the active frontier's columns.
+ *
+ * Switching needs both A and Aᵀ: either two copies of the graph are
+ * stored (CoSPARSE ~2xStorage), or the graph is transposed at runtime
+ * (mergeTrans on the host, or MeNDA near memory).
+ *
+ * Timing is transaction-level: every iteration's per-PE memory accesses
+ * are recorded and replayed through the shared cache/DRAM model
+ * (src/trace), under either the original contiguous address mapping or
+ * the Sec. 3.5 rank-partitioned mapping MeNDA requires — the comparison
+ * behind Fig. 11's "memory mapping has negligible impact" claim.
+ */
+
+#ifndef MENDA_COSPARSE_COSPARSE_HH
+#define MENDA_COSPARSE_COSPARSE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/format.hh"
+#include "trace/replay.hh"
+
+namespace menda::cosparse
+{
+
+struct CosparseConfig
+{
+    unsigned tiles = 8;
+    unsigned pesPerTile = 16;
+    /**
+     * Frontier fraction above which the framework switches to the dense
+     * dataflow. Calibrated so SSSP on the amazon stand-in reproduces the
+     * paper's profile ("the number of the sparse iterations is twice
+     * that of the dense", Sec. 6.3).
+     */
+    double denseThreshold = 0.02;
+    bool mendaMapping = false;    ///< rank-partitioned address layout
+    unsigned ranks = 4;           ///< partitions under MeNDA mapping
+    trace::ReplayConfig replay = [] {
+        trace::ReplayConfig rc;
+        rc.dram = dram::DramConfig::ddr4_2400r(4); // 4 ranks per channel
+        return rc;
+    }();                          ///< memory system of the substrate
+
+    unsigned pes() const { return tiles * pesPerTile; }
+};
+
+/** One executed iteration of a switching algorithm. */
+struct IterationRecord
+{
+    bool dense = false;
+    std::uint64_t frontier = 0; ///< active vertices entering it
+    double seconds = 0.0;
+};
+
+struct AlgorithmResult
+{
+    std::vector<IterationRecord> iterations;
+    std::uint64_t denseIterations = 0;
+    std::uint64_t sparseIterations = 0;
+    double denseSeconds = 0.0;
+    double sparseSeconds = 0.0;
+    std::uint64_t directionSwitches = 0;
+
+    double totalSeconds() const { return denseSeconds + sparseSeconds; }
+};
+
+struct SsspResult : AlgorithmResult
+{
+    std::vector<double> distance;
+};
+
+struct BfsResult : AlgorithmResult
+{
+    std::vector<std::int64_t> depth; ///< -1 = unreachable
+};
+
+struct PageRankResult : AlgorithmResult
+{
+    std::vector<double> rank;
+};
+
+struct ComponentsResult : AlgorithmResult
+{
+    std::vector<Index> component; ///< representative vertex per vertex
+    Index count = 0;              ///< number of weakly connected components
+};
+
+class CosparseFramework
+{
+  public:
+    /**
+     * @param graph  adjacency matrix A in CSR (edge weights = values);
+     *               copied, so temporaries are safe to pass
+     */
+    CosparseFramework(sparse::CsrMatrix graph,
+                      const CosparseConfig &config);
+
+    /** Single-source shortest path with direction switching. */
+    SsspResult sssp(Index source);
+
+    /** Breadth-first search (unit weights) with direction switching. */
+    BfsResult bfs(Index source);
+
+    /** PageRank: dense iterations only (every vertex always active). */
+    PageRankResult pagerank(unsigned iterations, double damping = 0.85);
+
+    /**
+     * Weakly connected components by label propagation (min-label
+     * SpMV semiring) with direction switching.
+     */
+    ComponentsResult connectedComponents();
+
+    const CosparseConfig &config() const { return config_; }
+
+  private:
+    /** Record & replay one dense inner-product iteration. */
+    double timeDenseIteration();
+
+    /** Record & replay one sparse outer-product iteration. */
+    double timeSparseIteration(const std::vector<Index> &frontier);
+
+    /** Apply the configured address mapping to an array element. */
+    Addr mapAddr(Addr base, std::uint64_t index, std::uint64_t
+                 element_bytes, std::uint64_t total_elements) const;
+
+    CosparseConfig config_;
+    sparse::CsrMatrix a_;          ///< row-major representation (owned)
+    sparse::CscMatrix at_;         ///< CSC representation (= Aᵀ in CSR)
+
+    // Synthetic physical bases for the data arrays (timing only).
+    Addr baseRowPtr_, baseIdx_, baseVal_, baseVec_, baseOut_;
+    Addr baseColPtr_, baseColIdx_, baseColVal_;
+};
+
+} // namespace menda::cosparse
+
+#endif // MENDA_COSPARSE_COSPARSE_HH

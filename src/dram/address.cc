@@ -1,0 +1,73 @@
+#include "dram/address.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+
+namespace menda::dram
+{
+
+namespace
+{
+
+unsigned
+log2Exact(std::uint64_t value, const char *what)
+{
+    if (value == 0 || (value & (value - 1)) != 0)
+        menda_fatal("DRAM ", what, " (", value, ") must be a power of two");
+    return static_cast<unsigned>(std::countr_zero(value));
+}
+
+} // namespace
+
+AddressDecoder::AddressDecoder(const DramConfig &config) : config_(config)
+{
+    columnBits_ = log2Exact(config.rowBufferBytes / blockBytes,
+                            "blocks per row");
+    bankGroupBits_ = log2Exact(config.bankGroups, "bank groups");
+    bankBits_ = log2Exact(config.banksPerGroup, "banks per group");
+    rankBits_ = log2Exact(config.ranks, "ranks");
+    rowBits_ = log2Exact(config.rowsPerBank, "rows per bank");
+}
+
+DramCoord
+AddressDecoder::decode(Addr addr) const
+{
+    Addr bits = addr >> 6; // strip block offset
+    DramCoord coord;
+    auto take = [&bits](unsigned width) {
+        const unsigned value =
+            static_cast<unsigned>(bits & ((1ull << width) - 1));
+        bits >>= width;
+        return value;
+    };
+    if (config_.mapping == AddressMapping::BankGroupInterleaved) {
+        coord.bankGroup = take(bankGroupBits_);
+        coord.columnBlock = take(columnBits_);
+    } else {
+        coord.columnBlock = take(columnBits_);
+        coord.bankGroup = take(bankGroupBits_);
+    }
+    coord.bank = take(bankBits_);
+    coord.rank = take(rankBits_);
+    coord.row = take(rowBits_);
+    return coord;
+}
+
+Addr
+AddressDecoder::encode(const DramCoord &coord) const
+{
+    Addr bits = coord.row;
+    bits = (bits << rankBits_) | coord.rank;
+    bits = (bits << bankBits_) | coord.bank;
+    if (config_.mapping == AddressMapping::BankGroupInterleaved) {
+        bits = (bits << columnBits_) | coord.columnBlock;
+        bits = (bits << bankGroupBits_) | coord.bankGroup;
+    } else {
+        bits = (bits << bankGroupBits_) | coord.bankGroup;
+        bits = (bits << columnBits_) | coord.columnBlock;
+    }
+    return bits << 6;
+}
+
+} // namespace menda::dram

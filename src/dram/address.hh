@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Physical address → DRAM coordinate decoding.
+ *
+ * Bit layout (LSB → MSB): block offset (6b) | bank group | column block |
+ * bank | rank | row. Interleaving bank groups at block granularity is the
+ * standard DDR4 trick: back-to-back bursts of a sequential stream land in
+ * different bank groups, so they are spaced by tCCD_S (= tBL) rather than
+ * the longer tCCD_L and the data bus can saturate. A sequential stream
+ * walks the open rows of all four bank groups in parallel (row hits),
+ * larger strides rotate banks, and rank bits sit below the row bits so
+ * contiguous chunks switch ranks only at large granularity.
+ */
+
+#ifndef MENDA_DRAM_ADDRESS_HH
+#define MENDA_DRAM_ADDRESS_HH
+
+#include "common/types.hh"
+#include "dram/dram_config.hh"
+
+namespace menda::dram
+{
+
+/** Decoded DRAM coordinates of one block address. */
+struct DramCoord
+{
+    unsigned rank = 0;
+    unsigned bankGroup = 0;
+    unsigned bank = 0;
+    unsigned row = 0;
+    unsigned columnBlock = 0;
+
+    /** Flat bank id across ranks/groups for state lookup. */
+    unsigned
+    flatBank(const DramConfig &config) const
+    {
+        return (rank * config.bankGroups + bankGroup) *
+                   config.banksPerGroup + bank;
+    }
+
+    bool operator==(const DramCoord &other) const = default;
+
+    /** Pack into a 64-bit hint for caching in queue entries. */
+    std::uint64_t
+    pack() const
+    {
+        return (static_cast<std::uint64_t>(rank) << 48) |
+               (static_cast<std::uint64_t>(bankGroup) << 40) |
+               (static_cast<std::uint64_t>(bank) << 32) |
+               (static_cast<std::uint64_t>(row) << 12) | columnBlock;
+    }
+
+    static DramCoord
+    unpack(std::uint64_t hint)
+    {
+        DramCoord coord;
+        coord.rank = static_cast<unsigned>(hint >> 48) & 0xff;
+        coord.bankGroup = static_cast<unsigned>(hint >> 40) & 0xff;
+        coord.bank = static_cast<unsigned>(hint >> 32) & 0xff;
+        coord.row = static_cast<unsigned>(hint >> 12) & 0xfffff;
+        coord.columnBlock = static_cast<unsigned>(hint) & 0xfff;
+        return coord;
+    }
+};
+
+/** The address decoder in the memory interface unit (Sec. 3.2). */
+class AddressDecoder
+{
+  public:
+    explicit AddressDecoder(const DramConfig &config);
+
+    /** Decode @p addr; wraps modulo the controller's capacity. */
+    DramCoord decode(Addr addr) const;
+
+    /** Recompose coordinates into a block-aligned address (for tests). */
+    Addr encode(const DramCoord &coord) const;
+
+  private:
+    unsigned columnBits_;
+    unsigned bankGroupBits_;
+    unsigned bankBits_;
+    unsigned rankBits_;
+    unsigned rowBits_;
+    DramConfig config_;
+};
+
+} // namespace menda::dram
+
+#endif // MENDA_DRAM_ADDRESS_HH

@@ -1,0 +1,408 @@
+#include "dram/controller.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace menda::dram
+{
+
+MemoryController::MemoryController(std::string name,
+                                   const DramConfig &config, bool coalesce)
+    : name_(std::move(name)),
+      config_(config),
+      decoder_(config),
+      readQueue_(config.readQueueEntries, coalesce),
+      writeQueue_(config.writeQueueEntries, false),
+      banks_(config.totalBanks()),
+      ranks_(config.ranks),
+      nextReadCmdGroup_(config.ranks * config.bankGroups, 0),
+      nextWriteCmdGroup_(config.ranks * config.bankGroups, 0),
+      stats_(name_)
+{
+    for (auto &rank : ranks_) {
+        rank.nextActGroup.assign(config.bankGroups, 0);
+        rank.nextRefresh = config.tREFI;
+    }
+    openRowHitsRead_.assign(config.totalBanks(), 0);
+    openRowHitsWrite_.assign(config.totalBanks(), 0);
+    stats_.add("reads", reads_);
+    stats_.add("writes", writes_);
+    stats_.add("rowHits", rowHits_);
+    stats_.add("rowMisses", rowMisses_);
+    stats_.add("rowConflicts", rowConflicts_);
+    stats_.add("activates", activates_);
+    stats_.add("precharges", precharges_);
+    stats_.add("refreshes", refreshes_);
+    stats_.add("busBusyCycles", busBusy_);
+    stats_.add("readQueueFull", readQueueFullEvents_);
+    stats_.add("writeQueueFull", writeQueueFullEvents_);
+    readQueue_.registerStats(stats_, "readQueue");
+    writeQueue_.registerStats(stats_, "writeQueue");
+}
+
+bool
+MemoryController::enqueue(const mem::MemRequest &req)
+{
+    mem::MemRequest aligned = req;
+    aligned.addr = blockAlign(req.addr) % config_.totalBytes();
+    const DramCoord coord = decoder_.decode(aligned.addr);
+    aligned.decodeHint = coord.pack();
+
+    mem::RequestQueue &queue = aligned.isWrite ? writeQueue_ : readQueue_;
+    const std::size_t before = queue.size();
+    if (!queue.enqueue(aligned)) {
+        ++(aligned.isWrite ? writeQueueFullEvents_
+                           : readQueueFullEvents_);
+        return false;
+    }
+    if (queue.size() > before) {
+        // A fresh slot (not a coalesced merge): track open-row hits.
+        const Bank &bank = bankAt(coord);
+        if (bank.open && bank.openRow == coord.row)
+            ++openRowWaiters(aligned.isWrite)[coord.flatBank(config_)];
+    }
+    return true;
+}
+
+bool
+MemoryController::idle() const
+{
+    return readQueue_.empty() && writeQueue_.empty() &&
+           pendingResponses_.empty();
+}
+
+void
+MemoryController::tick()
+{
+    // Deliver read data whose burst completed.
+    while (!pendingResponses_.empty() &&
+           pendingResponses_.front().first <= now_) {
+        const mem::MemRequest &resp = pendingResponses_.front().second;
+        if (callback_ && (!responseFilter_ || responseFilter_(resp)))
+            callback_(resp);
+        pendingResponses_.pop_front();
+    }
+
+    commandIssued_ = false;
+    maybeRefresh();
+
+    if (!commandIssued_ && !(readQueue_.empty() && writeQueue_.empty())) {
+        // Write-drain hysteresis: start at the high watermark or when no
+        // reads are pending; stop at the low watermark.
+        if (drainingWrites_) {
+            if (writeQueue_.size() <= config_.writeLowWatermark)
+                drainingWrites_ = false;
+        } else {
+            if (writeQueue_.size() >= config_.writeHighWatermark ||
+                (readQueue_.empty() && !writeQueue_.empty()))
+                drainingWrites_ = true;
+        }
+
+        if (drainingWrites_) {
+            if (!pickAndIssue(writeQueue_, true))
+                pickAndIssue(readQueue_, false);
+        } else {
+            pickAndIssue(readQueue_, false);
+        }
+    }
+
+    ++now_;
+}
+
+bool
+MemoryController::pickAndIssue(mem::RequestQueue &queue, bool is_write)
+{
+    if (queue.empty())
+        return false;
+
+    // Pass 1 — FR: oldest request that is a row hit and ready to launch.
+    // Globally gated: no burst of this type can issue before the bus
+    // tCCD/turnaround horizon, so skip the scan entirely until then.
+    const Cycle burst_gate = is_write ? nextWriteCmd_ : nextReadCmd_;
+    if (now_ >= burst_gate) {
+        for (std::size_t i = 0; i < queue.size(); ++i) {
+            bool served = false;
+            if (tryIssueFor(queue.at(i), is_write, true, served)) {
+                if (served)
+                    queue.remove(i);
+                return true;
+            }
+        }
+    }
+    // Pass 2 — FCFS: oldest request for which any command can issue.
+    // The scan window is bounded, as in real schedulers.
+    const std::size_t window = std::min<std::size_t>(queue.size(), 16);
+    for (std::size_t i = 0; i < window; ++i) {
+        bool served = false;
+        if (tryIssueFor(queue.at(i), is_write, false, served)) {
+            if (served)
+                queue.remove(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+MemoryController::tryIssueFor(const mem::MemRequest &req, bool is_write,
+                              bool hits_only, bool &served)
+{
+    const DramCoord coord = DramCoord::unpack(req.decodeHint);
+    const RankState &rank = ranks_[coord.rank];
+    if (rank.refreshing ||
+        (config_.refreshEnabled && now_ >= rank.nextRefresh))
+        return false; // rank is (about to be) refreshing
+
+    Bank &bank = bankAt(coord);
+    const bool hit = bank.open && bank.openRow == coord.row;
+
+    if (hit) {
+        if (is_write ? canWrite(bank, coord) : canRead(bank, coord)) {
+            const unsigned fb = coord.flatBank(config_);
+            menda_assert(openRowWaiters(is_write)[fb] > 0,
+                         "open-row waiter underflow");
+            --openRowWaiters(is_write)[fb];
+            issueBurst(coord, req, is_write);
+            served = true;
+            return true;
+        }
+        return false; // ready soon; don't waste the slot elsewhere
+    }
+    if (hits_only)
+        return false;
+
+    if (!bank.open) {
+        if (canActivate(coord)) {
+            issueActivate(coord);
+            ++rowMisses_;
+            return true;
+        }
+        return false;
+    }
+
+    // Row conflict. PriorHit: keep the open row while a request in the
+    // queue being scheduled still hits it; otherwise precharge. Only the
+    // scheduled queue counts — a write hit must not pin a row against
+    // conflicting reads while write draining is far away (and vice
+    // versa), or the conflicting side stalls for a whole drain period.
+    if (openRowWaiters(is_write)[coord.flatBank(config_)] > 0)
+        return false;
+    if (canPrecharge(bank)) {
+        issuePrecharge(coord);
+        ++rowConflicts_;
+        return true;
+    }
+    return false;
+}
+
+bool
+MemoryController::canActivate(const DramCoord &coord) const
+{
+    const Bank &bank = bankAt(coord);
+    const RankState &rank = ranks_[coord.rank];
+    if (bank.open)
+        return false;
+    if (now_ < bank.nextActivate || now_ < rank.nextActAny ||
+        now_ < rank.nextActGroup[coord.bankGroup])
+        return false;
+    if (rank.actWindow.size() >= 4 &&
+        now_ < rank.actWindow[rank.actWindow.size() - 4] + config_.tFAW)
+        return false;
+    return true;
+}
+
+bool
+MemoryController::canPrecharge(const Bank &bank) const
+{
+    return bank.open && now_ >= bank.nextPrecharge;
+}
+
+bool
+MemoryController::canRead(const Bank &bank, const DramCoord &coord) const
+{
+    const unsigned group = coord.rank * config_.bankGroups + coord.bankGroup;
+    return now_ >= bank.nextRead && now_ >= nextReadCmd_ &&
+           now_ >= nextReadCmdGroup_[group] &&
+           now_ + config_.tCL >= busFreeAt_;
+}
+
+bool
+MemoryController::canWrite(const Bank &bank, const DramCoord &coord) const
+{
+    const unsigned group = coord.rank * config_.bankGroups + coord.bankGroup;
+    return now_ >= bank.nextWrite && now_ >= nextWriteCmd_ &&
+           now_ >= nextWriteCmdGroup_[group] &&
+           now_ + config_.tCWL >= busFreeAt_;
+}
+
+void
+MemoryController::issueActivate(const DramCoord &coord)
+{
+    Bank &bank = bankAt(coord);
+    RankState &rank = ranks_[coord.rank];
+    bank.open = true;
+    bank.openRow = coord.row;
+    bank.nextRead = now_ + config_.tRCD;
+    bank.nextWrite = now_ + config_.tRCD;
+    bank.nextPrecharge = std::max<Cycle>(bank.nextPrecharge,
+                                         now_ + config_.tRAS);
+    bank.nextActivate = now_ + config_.tRC;
+    rank.nextActAny = std::max<Cycle>(rank.nextActAny, now_ + config_.tRRDS);
+    rank.nextActGroup[coord.bankGroup] =
+        std::max<Cycle>(rank.nextActGroup[coord.bankGroup],
+                        now_ + config_.tRRDL);
+    rank.actWindow.push_back(now_);
+    while (rank.actWindow.size() > 8)
+        rank.actWindow.pop_front();
+    recountOpenRowWaiters(coord);
+    ++activates_;
+    commandIssued_ = true;
+    if (commandCallback_)
+        commandCallback_(CommandType::Activate, coord, now_);
+}
+
+void
+MemoryController::recountOpenRowWaiters(const DramCoord &coord)
+{
+    const unsigned fb = coord.flatBank(config_);
+    const Bank &bank = bankAt(coord);
+    openRowHitsRead_[fb] = 0;
+    openRowHitsWrite_[fb] = 0;
+    if (!bank.open)
+        return;
+    for (std::size_t i = 0; i < readQueue_.size(); ++i) {
+        DramCoord other =
+            DramCoord::unpack(readQueue_.at(i).decodeHint);
+        if (other.flatBank(config_) == fb && other.row == bank.openRow)
+            ++openRowHitsRead_[fb];
+    }
+    for (std::size_t i = 0; i < writeQueue_.size(); ++i) {
+        DramCoord other =
+            DramCoord::unpack(writeQueue_.at(i).decodeHint);
+        if (other.flatBank(config_) == fb && other.row == bank.openRow)
+            ++openRowHitsWrite_[fb];
+    }
+}
+
+void
+MemoryController::issuePrecharge(const DramCoord &coord)
+{
+    Bank &bank = bankAt(coord);
+    bank.open = false;
+    bank.nextActivate = std::max<Cycle>(bank.nextActivate,
+                                        now_ + config_.tRP);
+    const unsigned fb = coord.flatBank(config_);
+    openRowHitsRead_[fb] = 0;
+    openRowHitsWrite_[fb] = 0;
+    ++precharges_;
+    commandIssued_ = true;
+    if (commandCallback_)
+        commandCallback_(CommandType::Precharge, coord, now_);
+}
+
+void
+MemoryController::issueBurst(const DramCoord &coord,
+                             const mem::MemRequest &req, bool is_write)
+{
+    Bank &bank = bankAt(coord);
+    const unsigned group = coord.rank * config_.bankGroups + coord.bankGroup;
+    busBusy_ += config_.tBL;
+    if (is_write) {
+        busFreeAt_ = now_ + config_.tCWL + config_.tBL;
+        nextWriteCmd_ = std::max<Cycle>(nextWriteCmd_, now_ + config_.tCCDS);
+        nextWriteCmdGroup_[group] =
+            std::max<Cycle>(nextWriteCmdGroup_[group], now_ + config_.tCCDL);
+        // Write-to-read turnaround.
+        const Cycle wtr = now_ + config_.tCWL + config_.tBL;
+        nextReadCmd_ = std::max<Cycle>(nextReadCmd_, wtr + config_.tWTRS);
+        nextReadCmdGroup_[group] =
+            std::max<Cycle>(nextReadCmdGroup_[group], wtr + config_.tWTRL);
+        bank.nextPrecharge = std::max<Cycle>(
+            bank.nextPrecharge, now_ + config_.tCWL + config_.tBL +
+                                    config_.tWR);
+        ++writes_;
+    } else {
+        busFreeAt_ = now_ + config_.tCL + config_.tBL;
+        nextReadCmd_ = std::max<Cycle>(nextReadCmd_, now_ + config_.tCCDS);
+        nextReadCmdGroup_[group] =
+            std::max<Cycle>(nextReadCmdGroup_[group], now_ + config_.tCCDL);
+        // Read-to-write turnaround: write burst must not collide.
+        nextWriteCmd_ = std::max<Cycle>(
+            nextWriteCmd_,
+            now_ + config_.tCL + config_.tBL + 2 - config_.tCWL);
+        bank.nextPrecharge = std::max<Cycle>(bank.nextPrecharge,
+                                             now_ + config_.tRTP);
+        pendingResponses_.emplace_back(now_ + config_.tCL + config_.tBL,
+                                       req);
+        ++reads_;
+    }
+    commandIssued_ = true;
+    if (commandCallback_)
+        commandCallback_(is_write ? CommandType::Write
+                                  : CommandType::Read,
+                         coord, now_);
+}
+
+void
+MemoryController::maybeRefresh()
+{
+    if (!config_.refreshEnabled)
+        return;
+    for (unsigned r = 0; r < config_.ranks; ++r) {
+        RankState &rank = ranks_[r];
+        if (rank.refreshing) {
+            if (now_ >= rank.refreshDone)
+                rank.refreshing = false;
+            else
+                continue;
+        }
+        if (now_ < rank.nextRefresh || commandIssued_)
+            continue;
+        // Close all banks of this rank, one precharge per cycle.
+        bool all_closed = true;
+        for (unsigned g = 0; g < config_.bankGroups && !commandIssued_;
+             ++g) {
+            for (unsigned b = 0; b < config_.banksPerGroup; ++b) {
+                DramCoord coord{r, g, b, 0, 0};
+                Bank &bank = bankAt(coord);
+                if (!bank.open)
+                    continue;
+                all_closed = false;
+                if (canPrecharge(bank)) {
+                    issuePrecharge(coord);
+                    break;
+                }
+            }
+        }
+        if (!all_closed || commandIssued_)
+            continue;
+        // All banks precharged: issue REF.
+        rank.refreshing = true;
+        rank.refreshDone = now_ + config_.tRFC;
+        rank.nextRefresh += config_.tREFI;
+        for (unsigned g = 0; g < config_.bankGroups; ++g) {
+            for (unsigned b = 0; b < config_.banksPerGroup; ++b) {
+                DramCoord coord{r, g, b, 0, 0};
+                bankAt(coord).nextActivate = rank.refreshDone;
+            }
+        }
+        ++refreshes_;
+        commandIssued_ = true;
+        if (commandCallback_)
+            commandCallback_(CommandType::Refresh, DramCoord{r, 0, 0, 0, 0},
+                             now_);
+    }
+}
+
+double
+MemoryController::achievedBandwidth(Cycle cycles) const
+{
+    if (cycles == 0)
+        return 0.0;
+    const double seconds =
+        static_cast<double>(cycles) / (config_.freqMhz * 1e6);
+    return static_cast<double>(bytesTransferred()) / seconds;
+}
+
+} // namespace menda::dram

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Cycle-level DDR4 memory controller.
+ *
+ * Models the memory interface unit of Sec. 3.2: a request scheduler
+ * (FRFCFS_PriorHit / "FCFS-FR" — oldest-first, but requests that are ready
+ * to launch and DRAM row hits are prioritized), an address decoder, and a
+ * command generator that emits ACT/PRE/RD/WR/REF commands subject to the
+ * full DDR4 timing constraint table of Tab. 1.
+ *
+ * One controller instance drives one data/command bus. A MeNDA PU
+ * instantiates a single-rank controller (the rank-internal bus that NMP
+ * exposes); host-style simulations instantiate one controller per channel
+ * with several ranks sharing the bus.
+ */
+
+#ifndef MENDA_DRAM_CONTROLLER_HH
+#define MENDA_DRAM_CONTROLLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "dram/address.hh"
+#include "dram/dram_config.hh"
+#include "mem/request_queue.hh"
+#include "sim/clock.hh"
+
+namespace menda::dram
+{
+
+/** DRAM command types emitted by the command generator. */
+enum class CommandType : std::uint8_t
+{
+    Activate,
+    Precharge,
+    Read,
+    Write,
+    Refresh,
+};
+
+/** Observer hook for command-level verification and power counting. */
+using CommandCallback =
+    std::function<void(CommandType, const DramCoord &, Cycle)>;
+
+class MemoryController : public Ticked
+{
+  public:
+    /**
+     * @param name       instance name for statistics
+     * @param config     organization/timing parameters
+     * @param coalesce   enable read-request coalescing (Sec. 3.4)
+     */
+    MemoryController(std::string name, const DramConfig &config,
+                     bool coalesce);
+
+    /** Deliver read completions here. May be empty (responses dropped). */
+    void setResponseCallback(mem::ResponseCallback callback)
+    {
+        callback_ = std::move(callback);
+    }
+
+    /** Observe every ACT/PRE/RD/WR/REF command as it issues. */
+    void setCommandCallback(CommandCallback callback)
+    {
+        commandCallback_ = std::move(callback);
+    }
+
+    /**
+     * Fault-injection hook: called before each read response is
+     * delivered; returning false drops the response (modeling a link
+     * CRC error the requester must recover from via retry).
+     */
+    void setResponseFilter(std::function<bool(const mem::MemRequest &)>
+                               filter)
+    {
+        responseFilter_ = std::move(filter);
+    }
+
+    /**
+     * Try to enqueue a block request. Returns false when the matching
+     * queue is full (caller must retry later — this is the back-pressure
+     * the PU's prefetch logic respects).
+     */
+    bool enqueue(const mem::MemRequest &req);
+
+    /** True when no request is queued, in flight, or awaiting response. */
+    bool idle() const;
+
+    void tick() override;
+
+    // --- observability ---
+    Cycle curCycle() const { return now_; }
+    const DramConfig &config() const { return config_; }
+
+    std::uint64_t readsServed() const { return reads_.value(); }
+    std::uint64_t writesServed() const { return writes_.value(); }
+    /** Bursts that required no activate of their own. */
+    std::uint64_t
+    rowHits() const
+    {
+        const std::uint64_t bursts = readsServed() + writesServed();
+        return bursts > activates() ? bursts - activates() : 0;
+    }
+    std::uint64_t rowMisses() const { return rowMisses_.value(); }
+    std::uint64_t rowConflicts() const { return rowConflicts_.value(); }
+    std::uint64_t activates() const { return activates_.value(); }
+    std::uint64_t refreshes() const { return refreshes_.value(); }
+    std::uint64_t busBusyCycles() const { return busBusy_.value(); }
+
+    /** Bytes moved over the data bus so far. */
+    std::uint64_t bytesTransferred() const
+    {
+        return (readsServed() + writesServed()) * blockBytes;
+    }
+
+    /** Achieved bandwidth over the first @p cycles cycles, bytes/sec. */
+    double achievedBandwidth(Cycle cycles) const;
+
+    /** Read queue (exposed for coalescing statistics). */
+    const mem::RequestQueue &readQueue() const { return readQueue_; }
+    const mem::RequestQueue &writeQueue() const { return writeQueue_; }
+
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    struct Bank
+    {
+        bool open = false;
+        unsigned openRow = 0;
+        Cycle nextActivate = 0;
+        Cycle nextRead = 0;
+        Cycle nextWrite = 0;
+        Cycle nextPrecharge = 0;
+    };
+
+    struct RankState
+    {
+        std::deque<Cycle> actWindow; ///< last ACT times for tFAW
+        Cycle nextActAny = 0;        ///< tRRDS
+        std::vector<Cycle> nextActGroup; ///< tRRDL, per bank group
+        Cycle nextRefresh = 0;
+        bool refreshing = false;
+        Cycle refreshDone = 0;
+    };
+
+    // Scheduling.
+    bool pickAndIssue(mem::RequestQueue &queue, bool is_write);
+    bool tryIssueFor(const mem::MemRequest &req, bool is_write,
+                     bool hits_only, bool &served);
+    void issueActivate(const DramCoord &coord);
+    void issuePrecharge(const DramCoord &coord);
+    void issueBurst(const DramCoord &coord, const mem::MemRequest &req,
+                    bool is_write);
+    void maybeRefresh();
+
+    void recountOpenRowWaiters(const DramCoord &coord);
+
+    /** Per-flat-bank count of queued requests hitting the open row. */
+    std::vector<std::uint32_t> &
+    openRowWaiters(bool is_write)
+    {
+        return is_write ? openRowHitsWrite_ : openRowHitsRead_;
+    }
+
+    bool canActivate(const DramCoord &coord) const;
+    bool canPrecharge(const Bank &bank) const;
+    bool canRead(const Bank &bank, const DramCoord &coord) const;
+    bool canWrite(const Bank &bank, const DramCoord &coord) const;
+
+    Bank &bankAt(const DramCoord &coord)
+    {
+        return banks_[coord.flatBank(config_)];
+    }
+    const Bank &bankAt(const DramCoord &coord) const
+    {
+        return banks_[coord.flatBank(config_)];
+    }
+
+    std::string name_;
+    DramConfig config_;
+    AddressDecoder decoder_;
+    mem::ResponseCallback callback_;
+    CommandCallback commandCallback_;
+    std::function<bool(const mem::MemRequest &)> responseFilter_;
+
+    Cycle now_ = 0;
+    bool commandIssued_ = false; ///< at most one command per cycle
+
+    mem::RequestQueue readQueue_;
+    mem::RequestQueue writeQueue_;
+    bool drainingWrites_ = false;
+
+    std::vector<Bank> banks_;
+    std::vector<RankState> ranks_;
+    std::vector<std::uint32_t> openRowHitsRead_;
+    std::vector<std::uint32_t> openRowHitsWrite_;
+
+    // Bus-level constraints (shared across ranks on this controller).
+    Cycle nextReadCmd_ = 0;
+    Cycle nextWriteCmd_ = 0;
+    std::vector<Cycle> nextReadCmdGroup_;  ///< per (rank, group): tCCDL
+    std::vector<Cycle> nextWriteCmdGroup_;
+    Cycle busFreeAt_ = 0;
+
+    /** In-flight reads ordered by completion cycle. */
+    std::deque<std::pair<Cycle, mem::MemRequest>> pendingResponses_;
+
+    Counter reads_, writes_, rowHits_, rowMisses_, rowConflicts_;
+    Counter activates_, precharges_, refreshes_, busBusy_;
+    Counter readQueueFullEvents_, writeQueueFullEvents_;
+    StatGroup stats_;
+};
+
+} // namespace menda::dram
+
+#endif // MENDA_DRAM_CONTROLLER_HH

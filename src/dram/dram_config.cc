@@ -1,0 +1,17 @@
+#include "dram/dram_config.hh"
+
+#include "common/log.hh"
+
+namespace menda::dram
+{
+
+DramConfig
+DramConfig::ddr4_2400r(unsigned n_ranks)
+{
+    menda_assert(n_ranks > 0, "need at least one rank");
+    DramConfig config;
+    config.ranks = n_ranks;
+    return config;
+}
+
+} // namespace menda::dram

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Memory request/response types exchanged between processing units and the
+ * DRAM subsystem. All requests are 64 B block transfers (Sec. 3.2).
+ */
+
+#ifndef MENDA_MEM_REQUEST_HH
+#define MENDA_MEM_REQUEST_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hh"
+
+namespace menda::mem
+{
+
+/** Which PU-side structure a response must be routed to. */
+enum class Stream : std::uint8_t
+{
+    None = 0,
+    RowPointer,   ///< input pointer array
+    ColumnIndex,  ///< input index array (or vector elements for SpMV)
+    NzValue,      ///< input value array
+    Intermediate, ///< COO intermediate arrays
+    Output,       ///< output CSC / vector store
+};
+
+/** A 64 B block load or store. */
+struct MemRequest
+{
+    Addr addr = 0;          ///< block-aligned physical address
+    bool isWrite = false;
+    std::uint32_t requester = 0; ///< prefetch buffer / unit id
+    Stream stream = Stream::None;
+    std::uint64_t id = 0;   ///< unique tag assigned at enqueue
+    std::uint32_t coalesced = 0; ///< additional requesters merged in
+
+    /**
+     * Opaque slot for the memory controller: the decoded DRAM
+     * coordinates are cached here at enqueue so scheduler scans do not
+     * re-decode the address every cycle.
+     */
+    std::uint64_t decodeHint = 0;
+};
+
+/** Delivered to the PU when a read completes (writes complete silently). */
+using ResponseCallback = std::function<void(const MemRequest &)>;
+
+} // namespace menda::mem
+
+#endif // MENDA_MEM_REQUEST_HH

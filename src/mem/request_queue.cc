@@ -1,0 +1,47 @@
+#include "mem/request_queue.hh"
+
+#include "common/log.hh"
+
+namespace menda::mem
+{
+
+RequestQueue::RequestQueue(std::size_t entries, bool coalesce)
+    : entries_(entries), coalesce_(coalesce)
+{
+    menda_assert(entries > 0, "request queue needs at least one entry");
+}
+
+bool
+RequestQueue::enqueue(const MemRequest &req)
+{
+    menda_assert(req.addr == blockAlign(req.addr),
+                 "requests must be block aligned");
+    if (coalesce_ && !req.isWrite) {
+        // Parallel address match against every occupied slot.
+        for (MemRequest &slot : queue_) {
+            if (!slot.isWrite && slot.addr == req.addr) {
+                ++slot.coalesced;
+                ++coalescedHits_;
+                return true;
+            }
+        }
+    }
+    if (full())
+        return false;
+    MemRequest accepted = req;
+    accepted.id = nextId_++;
+    queue_.push_back(accepted);
+    ++enqueued_;
+    return true;
+}
+
+MemRequest
+RequestQueue::remove(std::size_t i)
+{
+    menda_assert(i < queue_.size(), "request queue remove out of range");
+    MemRequest req = queue_[i];
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+    return req;
+}
+
+} // namespace menda::mem

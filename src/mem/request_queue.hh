@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Read/write request queues with CAM-style request coalescing (Sec. 3.4).
+ *
+ * Due to matrix sparsity, several short rows can share one 64 B block, so
+ * in iteration 0 different prefetch buffers issue loads for the same
+ * block. Request coalescing compares each incoming load against every
+ * occupied read-queue slot (a comparator per entry, like a CAM) and merges
+ * duplicates into the existing slot. The eventual memory response is
+ * broadcast to all prefetch buffers, so merging never affects correctness
+ * and requesters need not be tracked.
+ */
+
+#ifndef MENDA_MEM_REQUEST_QUEUE_HH
+#define MENDA_MEM_REQUEST_QUEUE_HH
+
+#include <cstddef>
+#include <deque>
+
+#include "common/stats.hh"
+#include "mem/request.hh"
+
+namespace menda::mem
+{
+
+/**
+ * A bounded FIFO of outstanding block requests. The read queue optionally
+ * coalesces; the write queue never does (stores carry distinct data).
+ */
+class RequestQueue
+{
+  public:
+    /**
+     * @param entries   queue capacity (Tab. 1: 32 for both RD and WR)
+     * @param coalesce  enable CAM matching of incoming loads
+     */
+    RequestQueue(std::size_t entries, bool coalesce);
+
+    bool full() const { return queue_.size() >= entries_; }
+    bool empty() const { return queue_.empty(); }
+    std::size_t size() const { return queue_.size(); }
+    std::size_t capacity() const { return entries_; }
+
+    /**
+     * Try to insert @p req. Returns true if it was accepted — either into
+     * a fresh slot or merged into an existing one (reads only). Returns
+     * false when the queue is full and no slot matches.
+     */
+    bool enqueue(const MemRequest &req);
+
+    /** Oldest request. Queue must be non-empty. */
+    const MemRequest &front() const { return queue_.front(); }
+
+    /** Access entry @p i (0 = oldest) for scheduler scans. */
+    const MemRequest &at(std::size_t i) const { return queue_[i]; }
+    MemRequest &at(std::size_t i) { return queue_[i]; }
+
+    /** Remove entry @p i once its last command has been issued. */
+    MemRequest remove(std::size_t i);
+
+    /** Statistics. */
+    const Counter &enqueued() const { return enqueued_; }
+    const Counter &coalescedHits() const { return coalescedHits_; }
+
+    void
+    registerStats(StatGroup &group, const std::string &prefix) const
+    {
+        group.add(prefix + ".enqueued", enqueued_);
+        group.add(prefix + ".coalesced", coalescedHits_);
+    }
+
+  private:
+    std::size_t entries_;
+    bool coalesce_;
+    std::deque<MemRequest> queue_;
+    std::uint64_t nextId_ = 0;
+
+    Counter enqueued_;
+    Counter coalescedHits_;
+};
+
+} // namespace menda::mem
+
+#endif // MENDA_MEM_REQUEST_QUEUE_HH

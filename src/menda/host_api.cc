@@ -1,0 +1,126 @@
+#include "menda/host_api.hh"
+
+#include "common/log.hh"
+
+namespace menda::nmp
+{
+
+Context::Context(const core::SystemConfig &config)
+    : config_(config), system_(config), mmio_(config.totalPus())
+{
+}
+
+MatrixHandle
+Context::allocSparseMatrix(const sparse::CsrMatrix &a)
+{
+    MatrixHandle handle;
+    handle.csr_ = &a;
+    handle.slices_ = sparse::partitionByNnz(a, ranks());
+    handle.pages_ = core::colorPages(handle.slices_, a.rows, a.nnz());
+    // The allocation functions write the necessary metadata to the
+    // memory-mapped registers (Sec. 4).
+    for (unsigned r = 0; r < ranks(); ++r) {
+        const auto &slice = handle.slices_[r];
+        core::PuMemoryMap map(0, slice.rows(), a.cols, slice.nnz());
+        mmio_[r].rowPtrAddr = map.base(core::Region::RowPtr);
+        mmio_[r].colIdxAddr = map.base(core::Region::ColIdx);
+        mmio_[r].valueAddr = map.base(core::Region::NzVal);
+        mmio_[r].rowBegin = slice.rowBegin;
+        mmio_[r].rowEnd = slice.rowEnd;
+        mmio_[r].start = false;
+        mmio_[r].finish = false;
+    }
+    return handle;
+}
+
+void
+Context::transpose(MatrixHandle &handle)
+{
+    menda_assert(!pending_, "an offload is already in flight");
+    for (auto &regs : mmio_) {
+        regs.start = true;
+        regs.finish = false;
+    }
+    pendingOp_ = Op::Transpose;
+    pendingHandle_ = &handle;
+    pending_ = true;
+}
+
+void
+Context::spmv(MatrixHandle &handle, const std::vector<Value> &x)
+{
+    menda_assert(!pending_, "an offload is already in flight");
+    for (auto &regs : mmio_) {
+        regs.start = true;
+        regs.finish = false;
+    }
+    pendingOp_ = Op::Spmv;
+    pendingHandle_ = &handle;
+    pendingX_ = x;
+    pending_ = true;
+}
+
+void
+Context::wait()
+{
+    if (!pending_)
+        return;
+    MatrixHandle &handle = *pendingHandle_;
+    if (pendingOp_ == Op::Transpose) {
+        core::TransposeResult result = system_.transpose(*handle.csr_);
+        handle.result_ = std::move(result.csc);
+        handle.transposed_ = true;
+        handle.runStats_ = result;
+        lastRun_ = result;
+        // Each PU holds one partition; rebuild the per-rank views the
+        // host reaches through NMP::getAddr.
+        handle.partitions_.clear();
+        for (unsigned r = 0; r < ranks(); ++r) {
+            const auto &slice = handle.slices_[r];
+            sparse::CsrMatrix part = sparse::extractSlice(*handle.csr_,
+                                                          slice);
+            handle.partitions_.push_back(
+                sparse::transposeReference(part));
+        }
+    } else {
+        core::SpmvResult result = system_.spmv(*handle.csr_, pendingX_);
+        lastY_ = std::move(result.y);
+        lastRun_ = result;
+    }
+    for (unsigned r = 0; r < ranks(); ++r) {
+        mmio_[r].finish = true; // PU sets finish, updates output addrs
+        const auto &slice = handle.slices_[r];
+        core::PuMemoryMap map(0, slice.rows(), handle.csr_->cols,
+                              slice.nnz());
+        mmio_[r].outPtrAddr = map.base(core::Region::OutPtr);
+        mmio_[r].outIdxAddr = map.base(core::Region::OutIdx);
+        mmio_[r].outValAddr = map.base(core::Region::OutVal);
+    }
+    pending_ = false;
+    pendingOp_ = Op::None;
+    pendingHandle_ = nullptr;
+}
+
+PartitionView
+Context::getAddr(const MatrixHandle &handle, unsigned rank) const
+{
+    menda_assert(rank < ranks(), "rank out of range");
+    menda_assert(handle.transposed_, "matrix not transposed yet");
+    PartitionView view;
+    view.csc = &handle.partitions_[rank];
+    view.rowBegin = handle.slices_[rank].rowBegin;
+    view.rowEnd = handle.slices_[rank].rowEnd;
+    view.ptrAddr = mmio_[rank].outPtrAddr;
+    view.idxAddr = mmio_[rank].outIdxAddr;
+    view.valAddr = mmio_[rank].outValAddr;
+    return view;
+}
+
+const sparse::CscMatrix &
+Context::result(const MatrixHandle &handle) const
+{
+    menda_assert(handle.transposed_, "matrix not transposed yet");
+    return handle.result_;
+}
+
+} // namespace menda::nmp

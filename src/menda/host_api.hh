@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The heterogeneous programming model (Sec. 4).
+ *
+ * The host allocates and initializes data for offloaded tasks; PUs are
+ * controlled through memory-mapped registers. Mirroring Fig. 8(a):
+ *
+ *   nmp::Context ctx(system_config);
+ *   auto g = ctx.allocSparseMatrix(a);      // balanced alloc + coloring
+ *   ctx.transpose(g);                       // non-blocking start
+ *   ctx.wait();                             // block until finish signals
+ *   auto view = ctx.getAddr(g, rank);       // partitioned CSC access
+ *
+ * The allocation call performs the NNZ-based workload balancing and
+ * page-coloring placement of Sec. 3.5 and hides the virtual-to-physical
+ * mapping; the host keeps using standard compressed formats.
+ */
+
+#ifndef MENDA_MENDA_HOST_API_HH
+#define MENDA_MENDA_HOST_API_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "menda/page_coloring.hh"
+#include "menda/system.hh"
+#include "sparse/format.hh"
+
+namespace menda::nmp
+{
+
+/** Per-PU memory-mapped control/status registers (Sec. 4). */
+struct MmioRegisters
+{
+    bool start = false;
+    bool finish = false;
+    Addr rowPtrAddr = 0;
+    Addr colIdxAddr = 0;
+    Addr valueAddr = 0;
+    Addr outPtrAddr = 0;
+    Addr outIdxAddr = 0;
+    Addr outValAddr = 0;
+    Index rowBegin = 0;
+    Index rowEnd = 0;
+};
+
+/** Host view of one rank's partition after transposition. */
+struct PartitionView
+{
+    const sparse::CscMatrix *csc = nullptr; ///< partitioned CSC data
+    Index rowBegin = 0;                     ///< global row range
+    Index rowEnd = 0;
+    Addr ptrAddr = 0, idxAddr = 0, valAddr = 0;
+};
+
+/** Handle returned by allocSparseMatrix. */
+class MatrixHandle
+{
+  public:
+    const sparse::CsrMatrix &csr() const { return *csr_; }
+    const std::vector<sparse::RowSlice> &slices() const { return slices_; }
+    const core::PageTable &pageTable() const { return pages_; }
+
+  private:
+    friend class Context;
+    const sparse::CsrMatrix *csr_ = nullptr;
+    std::vector<sparse::RowSlice> slices_;
+    core::PageTable pages_;
+    bool transposed_ = false;
+    sparse::CscMatrix result_;
+    std::vector<sparse::CscMatrix> partitions_;
+    core::RunResult runStats_;
+};
+
+class Context
+{
+  public:
+    explicit Context(const core::SystemConfig &config);
+
+    unsigned ranks() const { return config_.totalPus(); }
+
+    /**
+     * NMP-aware allocation: NNZ-balanced partitioning plus page-colored
+     * placement of each slice (and its row-pointer pages) in its rank.
+     */
+    MatrixHandle allocSparseMatrix(const sparse::CsrMatrix &a);
+
+    /** Launch transposition; returns immediately (sets start signals). */
+    void transpose(MatrixHandle &handle);
+
+    /** Launch SpMV on the transposed (partitioned CSC) matrix. */
+    void spmv(MatrixHandle &handle, const std::vector<Value> &x);
+
+    /** Block until every PU has set its finish signal. */
+    void wait();
+
+    /** True once all finish signals are set (non-blocking poll). */
+    bool finished() const { return !pending_; }
+
+    /** Partitioned output access: the NMP::getAddr(i) of Fig. 8(a). */
+    PartitionView getAddr(const MatrixHandle &handle, unsigned rank) const;
+
+    /** Whole-matrix transposition result (host-side convenience). */
+    const sparse::CscMatrix &result(const MatrixHandle &handle) const;
+
+    /** SpMV result vector. */
+    const std::vector<double> &vectorResult() const { return lastY_; }
+
+    /** Simulated statistics of the last completed offload. */
+    const core::RunResult &lastRun() const { return lastRun_; }
+
+    /** MMIO register file of PU @p rank (testing/diagnostics). */
+    const MmioRegisters &mmio(unsigned rank) const { return mmio_[rank]; }
+
+  private:
+    core::SystemConfig config_;
+    core::MendaSystem system_;
+    std::vector<MmioRegisters> mmio_;
+
+    // Simulation host: pending offload executed in wait().
+    enum class Op { None, Transpose, Spmv };
+    Op pendingOp_ = Op::None;
+    bool pending_ = false;
+    MatrixHandle *pendingHandle_ = nullptr;
+    std::vector<Value> pendingX_;
+
+    core::RunResult lastRun_;
+    std::vector<double> lastY_;
+};
+
+} // namespace menda::nmp
+
+#endif // MENDA_MENDA_HOST_API_HH

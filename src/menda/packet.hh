@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Data packets exchanged between merge-tree PEs (Sec. 3.2/3.3).
+ *
+ * A packet carries a 1-bit valid signal plus the 32-bit row index, 32-bit
+ * column index, and 32-bit value of one non-zero. The end-of-line bit
+ * marks the last element of a sorted stream and enables seamless
+ * back-to-back merge sort: a pure-EOL token (valid=0, eol=1) represents
+ * an empty stream.
+ */
+
+#ifndef MENDA_MENDA_PACKET_HH
+#define MENDA_MENDA_PACKET_HH
+
+#include "common/types.hh"
+
+namespace menda::core
+{
+
+struct Packet
+{
+    Index row = 0;
+    Index col = 0;
+    Value val = 0.0f;
+    bool valid = false; ///< false + eol = empty-stream token
+    bool eol = false;   ///< set on the last element of a sorted stream
+
+    static Packet
+    data(Index row, Index col, Value val, bool eol = false)
+    {
+        return Packet{row, col, val, true, eol};
+    }
+
+    static Packet
+    endOfLine()
+    {
+        return Packet{0, 0, 0.0f, false, true};
+    }
+};
+
+/**
+ * Merge order: transposition compares column indices (the output is
+ * sorted by column); ties must pop the LEFT child so the merge is stable
+ * and equal columns stay ordered by row. SpMV compares row indices.
+ */
+enum class MergeKey : std::uint8_t
+{
+    Column, ///< transposition
+    Row,    ///< SpMV reduction dataflow
+};
+
+/** The index the tree comparators look at under @p key. */
+constexpr Index
+mergeIndex(const Packet &p, MergeKey key)
+{
+    return key == MergeKey::Column ? p.col : p.row;
+}
+
+} // namespace menda::core
+
+#endif // MENDA_MENDA_PACKET_HH

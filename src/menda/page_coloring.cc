@@ -1,0 +1,60 @@
+#include "menda/page_coloring.hh"
+
+#include "common/log.hh"
+
+namespace menda::core
+{
+
+PageTable
+colorPages(const std::vector<sparse::RowSlice> &slices, std::uint64_t rows,
+           std::uint64_t nnz)
+{
+    PageTable table;
+    const std::uint64_t entry_bytes = 4;
+
+    // Index and value arrays: each PU's chunk is padded to page
+    // granularity so coloring can steer whole pages. Two arrays (index +
+    // value) cover [nnzBegin, nnzEnd) each.
+    for (int array = 0; array < 2; ++array) {
+        const Addr array_base =
+            static_cast<Addr>(array) * ((nnz * entry_bytes / pageBytes) +
+                                        slices.size() + 1) * pageBytes;
+        Addr next_page = array_base / pageBytes;
+        for (unsigned color = 0; color < slices.size(); ++color) {
+            const std::uint64_t bytes = slices[color].nnz() * entry_bytes;
+            const std::uint64_t pages =
+                (bytes + pageBytes - 1) / pageBytes;
+            for (std::uint64_t p = 0; p < pages; ++p)
+                table.entries.push_back({next_page++, color, false});
+        }
+    }
+
+    // Row-pointer array: pages follow the row ranges; a page needed by
+    // two ranks is duplicated, each rank getting a private copy.
+    const Addr ptr_base =
+        2 * ((nnz * entry_bytes / pageBytes) + slices.size() + 1);
+    const std::uint64_t entries_per_page = pageBytes / entry_bytes;
+    std::uint64_t last_page_of_prev = ~std::uint64_t(0);
+    for (unsigned color = 0; color < slices.size(); ++color) {
+        if (slices[color].rows() == 0)
+            continue;
+        const std::uint64_t first_entry = slices[color].rowBegin;
+        const std::uint64_t last_entry = slices[color].rowEnd; // ptr[end]
+        menda_assert(last_entry <= rows, "slice beyond matrix");
+        const std::uint64_t first_page = first_entry / entries_per_page;
+        const std::uint64_t last_page = last_entry / entries_per_page;
+        for (std::uint64_t p = first_page; p <= last_page; ++p) {
+            const bool shared = p == last_page_of_prev;
+            table.entries.push_back({ptr_base + p, color, shared});
+            if (shared)
+                table.duplicatedBytes += pageBytes;
+        }
+        last_page_of_prev = last_page;
+    }
+
+    menda_assert(table.duplicatedBytes <= pageBytes * slices.size(),
+                 "row-pointer duplication exceeds page_size x ranks");
+    return table;
+}
+
+} // namespace menda::core

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Page-coloring placement (Sec. 3.5).
+ *
+ * The host determines each PU's NNZ share, allocates contiguous physical
+ * chunks, and uses page coloring to pin every page of a PU's index/value
+ * data to that PU's rank. Row-pointer pages are special: the rank a
+ * pointer page belongs to depends on the matrix distribution, and a page
+ * straddling two PUs' row ranges is *duplicated* so each rank holds a
+ * private copy — bounded by page_size x #ranks of extra storage.
+ */
+
+#ifndef MENDA_MENDA_PAGE_COLORING_HH
+#define MENDA_MENDA_PAGE_COLORING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "sparse/partition.hh"
+
+namespace menda::core
+{
+
+/** One colored page of the host allocation. */
+struct PageEntry
+{
+    Addr virtualPage = 0;  ///< page index in the host's address space
+    unsigned color = 0;    ///< rank the page maps to
+    bool duplicate = false;///< private copy of a shared row-pointer page
+};
+
+/** The coloring decisions for one allocated sparse matrix. */
+struct PageTable
+{
+    std::vector<PageEntry> entries;
+    std::uint64_t duplicatedBytes = 0; ///< row-pointer duplication cost
+
+    /** Pages assigned to rank @p color (including duplicates). */
+    std::uint64_t
+    pagesOfColor(unsigned color) const
+    {
+        std::uint64_t count = 0;
+        for (const PageEntry &entry : entries)
+            if (entry.color == color)
+                ++count;
+        return count;
+    }
+};
+
+/**
+ * Color the index/value/pointer pages of a matrix split into @p slices.
+ * Index/value pages follow the NNZ split exactly (slices are page
+ * aligned by construction of the allocator); row-pointer pages follow
+ * the row ranges and are duplicated when shared between two ranks.
+ *
+ * @param rows  total rows (row-pointer array has rows + 1 entries)
+ * @param nnz   total non-zeros (index/value arrays)
+ */
+PageTable colorPages(const std::vector<sparse::RowSlice> &slices,
+                     std::uint64_t rows, std::uint64_t nnz);
+
+} // namespace menda::core
+
+#endif // MENDA_MENDA_PAGE_COLORING_HH

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Prefetch buffers (Sec. 3.2, 3.4).
+ *
+ * Each merge-tree stream slot is fed by one prefetch buffer — a small
+ * multi-bank SRAM that issues 64 B block loads for its assigned sorted
+ * stream and feeds decoded packets to its leaf PE. Two policies:
+ *
+ *  - baseline: a buffer only fetches once it has fully drained;
+ *  - stall-reducing prefetching: a buffer fetches whenever the next chunk
+ *    fits in its free space, but never has more than one chunk of
+ *    outstanding requests (keeping *all* buffers non-empty beats filling
+ *    one buffer to the brim, Sec. 3.4).
+ *
+ * Fetches are grouped into "chunks": the elements of the current stream
+ * that share one aligned 64 B span of the index array, which need one
+ * block load per backing array (2 for CSR streams, 3 for COO). Loads go
+ * through the coalescing read queue; responses are broadcast, so a buffer
+ * is filled by any response that covers a block it waits for, no matter
+ * who requested it.
+ */
+
+#ifndef MENDA_MENDA_PREFETCH_BUFFER_HH
+#define MENDA_MENDA_PREFETCH_BUFFER_HH
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "menda/memory_map.hh"
+#include "menda/packet.hh"
+#include "menda/pu_config.hh"
+#include "menda/stream.hh"
+
+namespace menda::core
+{
+
+/** Materializes functional packets for a stream element. */
+using ElementReader = std::function<Packet(const StreamDesc &,
+                                           std::uint64_t element)>;
+
+class PrefetchBuffer
+{
+  public:
+    PrefetchBuffer(unsigned slot, const PuConfig &config,
+                   const PuMemoryMap *map, ElementReader reader);
+
+    unsigned slot() const { return slot_; }
+
+    /** True if the controller should hand us another stream (< 2 queued,
+     *  counting the one being fetched). */
+    bool wantsAssignment() const { return assignments_.size() < 2; }
+
+    /** Hand the next sorted stream (in round order) to this buffer. */
+    void assign(const StreamDesc &desc);
+
+    /** True if a packet is ready for the leaf PE. */
+    bool hasPacket() const { return !ready_.empty(); }
+
+    /** Pop the next packet for the leaf PE. */
+    Packet popPacket();
+
+    /**
+     * The next block-load this buffer wants to send, or 0 if none.
+     * Non-zero means the PU's load port should call issuedBlock() once
+     * the request was accepted by the read queue.
+     */
+    Addr pendingBlock() const;
+
+    /** The read queue accepted the load for pendingBlock(). */
+    void issuedBlock();
+
+    /**
+     * A read response for @p block_addr is on the bus (broadcast). Fills
+     * this buffer if it waits for that block; returns true if consumed.
+     */
+    bool fillFromResponse(Addr block_addr);
+
+    /** Bytes of load traffic this buffer has asked for (stats). */
+    std::uint64_t blocksRequested() const { return blocksReq_.value(); }
+
+    /** True if the buffer has no queued work at all. */
+    bool
+    idle() const
+    {
+        return ready_.empty() && assignments_.empty() && !chunk_.active;
+    }
+
+    /**
+     * True when the pending request is a *demand* fetch: the buffer has
+     * nothing left to feed its leaf, so its stream may be blocking the
+     * root. The PU load port prioritizes these over prefetch top-ups —
+     * otherwise "excessive prefetching requests block the critical read
+     * requests on demand" (Sec. 6.4).
+     */
+    bool starving() const { return ready_.empty(); }
+
+  private:
+    /** Start fetching the next chunk if the policy allows. */
+    void maybeStartChunk();
+
+    /** Move on past streams that need no fetch (empty streams). */
+    void drainTrivialAssignments();
+
+    /** Number of data packets currently buffered or in flight. */
+    unsigned occupancy() const { return occupancy_; }
+
+    struct Chunk
+    {
+        bool active = false;
+        std::uint64_t firstElem = 0;
+        std::uint64_t count = 0;
+        std::vector<Addr> blocksToIssue;
+        std::vector<Addr> blocksAwaited;
+        StreamDesc desc;
+        bool lastOfStream = false;
+    };
+
+    unsigned slot_;
+    const PuConfig *config_;
+    const PuMemoryMap *map_;
+    ElementReader reader_;
+
+    std::deque<StreamDesc> assignments_; ///< front = being fetched
+    std::uint64_t cursor_ = 0;           ///< next element to fetch
+    Chunk chunk_;
+    std::deque<Packet> ready_;           ///< decoded packets for the PE
+    unsigned occupancy_ = 0;             ///< data packets held + in flight
+
+    Counter blocksReq_;
+};
+
+} // namespace menda::core
+
+#endif // MENDA_MENDA_PREFETCH_BUFFER_HH

@@ -1,0 +1,646 @@
+#include "menda/pu.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace menda::core
+{
+
+namespace
+{
+
+constexpr std::uint32_t controllerRequester = 0xffffffffu;
+
+} // namespace
+
+Pu::Pu(std::string name, const PuConfig &config,
+       const sparse::CsrMatrix *slice, Index row_offset,
+       dram::MemoryController *mem)
+    : name_(std::move(name)),
+      config_(config),
+      mode_(PuMode::Transpose),
+      csr_(slice),
+      rowOffset_(row_offset),
+      map_(0, slice->rows, slice->cols, slice->nnz()),
+      mem_(mem),
+      tree_(config, MergeKey::Column),
+      output_(config_, &map_),
+      stats_(name_)
+{
+    for (Index r = 0; r < csr_->rows; ++r)
+        if (csr_->ptr[r + 1] > csr_->ptr[r])
+            neRows_.push_back(r);
+    buffers_.reserve(config_.leaves);
+    for (unsigned slot = 0; slot < config_.leaves; ++slot)
+        buffers_.push_back(std::make_unique<PrefetchBuffer>(
+            slot, config_, &map_,
+            [this](const StreamDesc &desc, std::uint64_t element) {
+                return readElement(desc, element);
+            }));
+    inIssueQueue_.assign(config_.leaves, false);
+    inPushQueue_.assign(config_.leaves, false);
+    inAssignQueue_.assign(config_.leaves, false);
+    mem_->setResponseCallback([this](const mem::MemRequest &req) {
+        responses_.push_back(req);
+    });
+    stats_.add("loads", loads_);
+    stats_.add("stores", stores_);
+    stats_.add("responses", responsesHandled_);
+    stats_.add("assignments", assignments_);
+    stats_.add("retries", retries_);
+    tree_.registerStats(stats_);
+    output_.registerStats(stats_);
+}
+
+Pu::Pu(std::string name, const PuConfig &config,
+       const sparse::CscMatrix *slice_csc, const std::vector<Value> *x,
+       Index row_offset, dram::MemoryController *mem)
+    : name_(std::move(name)),
+      config_(config),
+      mode_(PuMode::Spmv),
+      csc_(slice_csc),
+      vecX_(x),
+      rowOffset_(row_offset),
+      // SpMV walks the *column* pointer array (cols + 1 entries) and
+      // stores a dense vector of `rows` elements, so the pointer and
+      // output regions are sized for whichever dimension is larger.
+      map_(0, std::max(slice_csc->rows, slice_csc->cols),
+           slice_csc->cols,
+           std::max<std::uint64_t>(slice_csc->nnz(), slice_csc->rows)),
+      mem_(mem),
+      tree_(config, MergeKey::Row),
+      output_(config_, &map_),
+      stats_(name_)
+{
+    menda_assert(x->size() == csc_->cols, "SpMV vector length mismatch");
+    for (Index c = 0; c < csc_->cols; ++c)
+        if (csc_->ptr[c + 1] > csc_->ptr[c])
+            neRows_.push_back(c); // non-empty columns in SpMV mode
+    buffers_.reserve(config_.leaves);
+    for (unsigned slot = 0; slot < config_.leaves; ++slot)
+        buffers_.push_back(std::make_unique<PrefetchBuffer>(
+            slot, config_, &map_,
+            [this](const StreamDesc &desc, std::uint64_t element) {
+                return readElement(desc, element);
+            }));
+    inIssueQueue_.assign(config_.leaves, false);
+    inPushQueue_.assign(config_.leaves, false);
+    inAssignQueue_.assign(config_.leaves, false);
+    mem_->setResponseCallback([this](const mem::MemRequest &req) {
+        responses_.push_back(req);
+    });
+    stats_.add("loads", loads_);
+    stats_.add("stores", stores_);
+    stats_.add("responses", responsesHandled_);
+    stats_.add("assignments", assignments_);
+    stats_.add("retries", retries_);
+    tree_.registerStats(stats_);
+    output_.registerStats(stats_);
+}
+
+void
+Pu::start()
+{
+    menda_assert(phase_ == Phase::Idle, "PU already started");
+    phase_ = Phase::Running;
+    iteration_ = 0;
+    srcCoo_ = 0;
+    setupIteration();
+}
+
+Packet
+Pu::readElement(const StreamDesc &desc, std::uint64_t element) const
+{
+    const bool last = element + 1 == desc.end;
+    switch (desc.source) {
+      case StreamSource::CsrRow:
+        return Packet::data(desc.fixedIndex, csr_->idx[element],
+                            csr_->val[element], last);
+      case StreamSource::CscColumn: {
+        // SpMV iteration 0: the vectorized multiplier scales the value
+        // by the matching input-vector element as it is fetched.
+        const Value scaled = csc_->val[element] *
+                             (*vecX_)[desc.fixedIndex];
+        return Packet::data(csc_->idx[element], desc.fixedIndex, scaled,
+                            last);
+      }
+      case StreamSource::Coo: {
+        const MergedOutput &coo = coo_[desc.cooBuffer];
+        return Packet::data(coo.row[element], coo.col[element],
+                            coo.val[element], last);
+      }
+    }
+    menda_panic("unreachable stream source");
+}
+
+StreamDesc
+Pu::streamForOrdinal(std::uint64_t ordinal) const
+{
+    StreamDesc desc;
+    if (iteration_ == 0) {
+        const Index line = neRows_[ordinal];
+        if (mode_ == PuMode::Transpose) {
+            desc.source = StreamSource::CsrRow;
+            desc.begin = csr_->ptr[line];
+            desc.end = csr_->ptr[line + 1];
+            desc.fixedIndex = rowOffset_ + line;
+        } else {
+            desc.source = StreamSource::CscColumn;
+            desc.begin = csc_->ptr[line];
+            desc.end = csc_->ptr[line + 1];
+            desc.fixedIndex = line;
+        }
+    } else {
+        desc = streams_[ordinal];
+    }
+    return desc;
+}
+
+void
+Pu::setupIteration()
+{
+    const std::uint64_t n =
+        iteration_ == 0 ? neRows_.size() : streams_.size();
+    roundsTotal_ = (n + config_.leaves - 1) / config_.leaves;
+    finalIteration_ = roundsTotal_ <= 1;
+
+    OutputMode out_mode;
+    Index total_cols = 0;
+    if (mode_ == PuMode::Transpose) {
+        out_mode = finalIteration_ ? OutputMode::CscFinal
+                                   : OutputMode::CooIntermediate;
+        total_cols = csr_->cols;
+    } else {
+        out_mode = finalIteration_ ? OutputMode::DenseFinal
+                                   : OutputMode::PairIntermediate;
+        total_cols = csc_->rows;
+    }
+    output_.beginIteration(out_mode, 1 - srcCoo_, roundsTotal_, total_cols);
+
+    bufferNextRound_.assign(config_.leaves, 0);
+    roundsBeforeIteration_ = tree_.roundsCompleted();
+    reduction_ = Packet{};
+    pendingEmitValid_ = false;
+
+    // Pointer walk: only iteration 0 reads a pointer array; COO
+    // intermediates carry explicit bounds (Sec. 3.1).
+    pointerPhase_ = iteration_ == 0;
+    pendingPtrLoads_.clear();
+    ptrInFlight_.clear();
+    neededPtrBlocks_.clear();
+    ptrNextIssue_ = 0;
+    ptrOutstanding_ = 0;
+    if (pointerPhase_) {
+        const std::uint64_t entries =
+            (mode_ == PuMode::Transpose ? csr_->rows : csc_->cols) + 1;
+        ptrBlocksTotal_ = (entries + 15) / 16;
+        ptrArrived_.assign(ptrBlocksTotal_, false);
+        if (mode_ == PuMode::Transpose) {
+            // The whole pointer array is walked front to back.
+            neededPtrBlocks_.resize(ptrBlocksTotal_);
+            for (std::uint64_t b = 0; b < ptrBlocksTotal_; ++b)
+                neededPtrBlocks_[b] = b;
+        } else {
+            // SpMV: the auxiliary pointer array marks which pointer
+            // blocks contain non-empty columns; only those are fetched
+            // (Sec. 3.6). The aux array itself is read first.
+            for (Index c : neRows_) {
+                neededPtrBlocks_.push_back(c / 16);
+                neededPtrBlocks_.push_back((c + 1) / 16);
+            }
+            std::sort(neededPtrBlocks_.begin(), neededPtrBlocks_.end());
+            neededPtrBlocks_.erase(std::unique(neededPtrBlocks_.begin(),
+                                               neededPtrBlocks_.end()),
+                                   neededPtrBlocks_.end());
+            const std::uint64_t aux_blocks =
+                (ptrBlocksTotal_ + 511) / 512; // one bit per ptr block
+            for (std::uint64_t b = 0; b < aux_blocks; ++b)
+                pendingPtrLoads_.push_back(
+                    map_.blockOf(Region::AuxPtr, b * 16));
+        }
+    }
+
+    // Everyone starts wanting assignments.
+    assignQueue_.clear();
+    std::fill(inAssignQueue_.begin(), inAssignQueue_.end(),
+              roundsTotal_ != 0);
+    if (roundsTotal_ != 0)
+        for (unsigned b = 0; b < config_.leaves; ++b)
+            assignQueue_.push_back(b);
+
+    iterStartCycle_ = cycle_;
+    iterStartReads_ = mem_->readsServed();
+    iterStartWrites_ = mem_->writesServed();
+    iterStartCoalesced_ = mem_->readQueue().coalescedHits().value();
+}
+
+void
+Pu::pointerEngine()
+{
+    if (!pointerPhase_)
+        return;
+    // Schedule pointer (and, for SpMV, matching vector) block loads.
+    // The pointer array is streamed front to back with a small
+    // outstanding-request cap: the FSM needs the bounds in assignment
+    // order, so streaming is both sufficient and bandwidth-friendly.
+    while (ptrNextIssue_ < neededPtrBlocks_.size() &&
+           ptrOutstanding_ + pendingPtrLoads_.size() < 8) {
+        const std::uint64_t block = neededPtrBlocks_[ptrNextIssue_];
+        pendingPtrLoads_.push_back(map_.blockOf(Region::RowPtr,
+                                                block * 16));
+        if (mode_ == PuMode::Spmv) {
+            // The controller fetches the vector elements multiplied with
+            // these columns together with the pointer block (Sec. 3.6).
+            pendingPtrLoads_.push_back(map_.blockOf(Region::VecIn,
+                                                    block * 16));
+        }
+        ++ptrNextIssue_;
+    }
+}
+
+void
+Pu::doLoadPort()
+{
+    // One load request can be enqueued per PU cycle (Sec. 3.2); the
+    // controller's pointer walk takes priority over prefetch buffers.
+    if (!pendingPtrLoads_.empty()) {
+        mem::MemRequest req;
+        req.addr = pendingPtrLoads_.front();
+        req.requester = controllerRequester;
+        const Addr rp_base = map_.base(Region::RowPtr);
+        const bool is_ptr = req.addr >= rp_base &&
+                            req.addr < rp_base + ptrBlocksTotal_ * 64;
+        req.stream = is_ptr ? mem::Stream::RowPointer
+                            : mem::Stream::ColumnIndex;
+        if (mem_->enqueue(req)) {
+            pendingPtrLoads_.pop_front();
+            if (is_ptr) {
+                ++ptrOutstanding_;
+                ptrInFlight_[req.addr] = cycle_;
+            }
+            ++loads_;
+        }
+        return;
+    }
+
+    // Round-robin over prefetch buffers with pending chunk blocks.
+    // Demand fetches (buffers with nothing left for their leaf) are
+    // hoisted ahead of prefetch top-ups within a bounded scan window —
+    // otherwise excessive prefetch requests block the critical reads
+    // on demand (Sec. 6.4).
+    for (std::size_t i = 1; i < issueQueue_.size() && i < 16; ++i) {
+        if (buffers_[issueQueue_[i]]->starving() &&
+            !buffers_[issueQueue_.front()]->starving()) {
+            std::swap(issueQueue_[0], issueQueue_[i]);
+            break;
+        }
+    }
+    std::size_t examined = 0;
+    const std::size_t limit = issueQueue_.size();
+    while (!issueQueue_.empty() && examined < limit) {
+        ++examined;
+        const unsigned b = issueQueue_.front();
+        PrefetchBuffer &buf = *buffers_[b];
+        const Addr addr = buf.pendingBlock();
+        if (addr == 0) {
+            issueQueue_.pop_front();
+            inIssueQueue_[b] = false;
+            continue;
+        }
+        mem::MemRequest req;
+        req.addr = addr;
+        req.requester = b;
+        req.stream = mem::Stream::ColumnIndex;
+        if (!mem_->enqueue(req))
+            return; // read queue full; retry next cycle
+        buf.issuedBlock();
+        auto &entry = waiters_[addr];
+        if (entry.buffers.empty())
+            entry.issuedAt = cycle_;
+        entry.buffers.push_back(b);
+        ++loads_;
+        issueQueue_.pop_front();
+        if (buf.pendingBlock() != 0) {
+            issueQueue_.push_back(b); // more blocks of this chunk
+        } else {
+            inIssueQueue_[b] = false;
+        }
+        return;
+    }
+}
+
+void
+Pu::doStorePort()
+{
+    if (!output_.hasPendingStore())
+        return;
+    mem::MemRequest req;
+    req.addr = output_.nextStore();
+    req.isWrite = true;
+    req.stream = mem::Stream::Output;
+    if (mem_->enqueue(req)) {
+        output_.storeIssued();
+        ++stores_;
+    }
+}
+
+void
+Pu::handleResponse(const mem::MemRequest &req)
+{
+    ++responsesHandled_;
+    if (req.stream == mem::Stream::RowPointer) {
+        const Addr rp_base = map_.base(Region::RowPtr);
+        const std::uint64_t block = (req.addr - rp_base) / blockBytes;
+        if (block < ptrArrived_.size() && !ptrArrived_[block])
+            ptrArrived_[block] = true;
+        ptrInFlight_.erase(req.addr);
+        if (ptrOutstanding_ > 0)
+            --ptrOutstanding_;
+        // Fall through: if a prefetch-buffer load was coalesced into
+        // this pointer request, the broadcast must still fill it.
+    }
+    auto it = waiters_.find(req.addr);
+    if (it == waiters_.end())
+        return; // vector/aux fetches carry no waiters
+    // The response is broadcast: it fills every prefetch buffer waiting
+    // on this block, coalesced or not (Sec. 3.4).
+    std::vector<unsigned> list = std::move(it->second.buffers);
+    waiters_.erase(it);
+    for (unsigned b : list) {
+        buffers_[b]->fillFromResponse(req.addr);
+        noteBufferActivity(b);
+    }
+}
+
+void
+Pu::noteBufferActivity(unsigned slot)
+{
+    PrefetchBuffer &buf = *buffers_[slot];
+    if (buf.hasPacket() && !inPushQueue_[slot]) {
+        inPushQueue_[slot] = true;
+        pushQueue_.push_back(slot);
+    }
+    if (buf.pendingBlock() != 0 && !inIssueQueue_[slot]) {
+        inIssueQueue_[slot] = true;
+        issueQueue_.push_back(slot);
+    }
+    if (buf.wantsAssignment() && bufferNextRound_[slot] < roundsTotal_ &&
+        !inAssignQueue_[slot]) {
+        inAssignQueue_[slot] = true;
+        assignQueue_.push_back(slot);
+    }
+}
+
+void
+Pu::doAssignments()
+{
+    const std::uint64_t n =
+        iteration_ == 0 ? neRows_.size() : streams_.size();
+    unsigned made = 0;
+    std::size_t examined = 0;
+    while (!assignQueue_.empty() && made < 2 && examined < 8) {
+        ++examined;
+        const unsigned b = assignQueue_.front();
+        if (!buffers_[b]->wantsAssignment() ||
+            bufferNextRound_[b] >= roundsTotal_) {
+            assignQueue_.pop_front();
+            inAssignQueue_[b] = false;
+            continue;
+        }
+        if (!config_.seamlessMerge &&
+            bufferNextRound_[b] >
+                tree_.roundsCompleted() - roundsBeforeIteration_) {
+            // Non-seamless baseline: round j+1's streams are only handed
+            // out once round j has fully drained from the root.
+            assignQueue_.pop_front();
+            assignQueue_.push_back(b);
+            ++examined;
+            continue;
+        }
+        const std::uint64_t ordinal =
+            bufferNextRound_[b] * config_.leaves + b;
+        StreamDesc desc;
+        if (ordinal < n) {
+            if (pointerPhase_) {
+                const Index line = neRows_[ordinal];
+                if (!ptrArrived_[line / 16] ||
+                    !ptrArrived_[(line + 1) / 16]) {
+                    // Bounds not here yet; give others a chance.
+                    assignQueue_.pop_front();
+                    assignQueue_.push_back(b);
+                    continue;
+                }
+            }
+            desc = streamForOrdinal(ordinal);
+        } else {
+            desc.begin = desc.end = 0; // padding: empty stream
+        }
+        buffers_[b]->assign(desc);
+        ++bufferNextRound_[b];
+        ++assignments_;
+        ++made;
+        assignQueue_.pop_front();
+        inAssignQueue_[b] = false;
+        noteBufferActivity(b);
+    }
+}
+
+void
+Pu::doPushQueue()
+{
+    // Every buffer with a ready packet and leaf FIFO space pushes one
+    // packet per cycle — all leaves move in parallel in hardware.
+    std::size_t n = pushQueue_.size();
+    while (n-- > 0) {
+        const unsigned b = pushQueue_.front();
+        pushQueue_.pop_front();
+        inPushQueue_[b] = false;
+        PrefetchBuffer &buf = *buffers_[b];
+        if (!buf.hasPacket())
+            continue;
+        if (!tree_.canPush(b))
+            continue; // leaf FIFO full; freedSlots() will wake us
+        tree_.push(b, buf.popPacket());
+        noteBufferActivity(b);
+    }
+}
+
+void
+Pu::doRootPop()
+{
+    if (!output_.canAccept()) {
+        if (tree_.canPop() || pendingEmitValid_)
+            output_.noteStall();
+        return;
+    }
+    // The SpMV reduction unit emits at most one element per cycle; when
+    // a stream's last packet both closes the previous accumulation and
+    // carries its own value, the second emission spills to this cycle.
+    if (pendingEmitValid_) {
+        output_.accept(pendingEmit_);
+        pendingEmitValid_ = false;
+        return;
+    }
+    if (!tree_.canPop())
+        return;
+    Packet p = tree_.pop();
+    if (mode_ == PuMode::Transpose) {
+        output_.accept(p);
+        return;
+    }
+    // SpMV: the reduction unit merges consecutive packets with equal row
+    // index using the pipelined FP adders (Sec. 3.6).
+    bool accepted = false;
+    if (p.valid) {
+        if (reduction_.valid && reduction_.row == p.row) {
+            reduction_.val += p.val;
+        } else {
+            if (reduction_.valid) {
+                Packet out = reduction_;
+                out.eol = false;
+                output_.accept(out);
+                accepted = true;
+            }
+            reduction_ = p;
+            reduction_.eol = false;
+        }
+    }
+    if (p.eol) {
+        Packet out;
+        if (reduction_.valid) {
+            out = reduction_;
+            out.eol = true;
+            reduction_ = Packet{};
+        } else {
+            out = Packet::endOfLine();
+        }
+        if (accepted) {
+            pendingEmit_ = out;
+            pendingEmitValid_ = true;
+        } else {
+            output_.accept(out);
+        }
+    }
+}
+
+void
+Pu::finishIteration()
+{
+    IterationStats st;
+    st.cycles = cycle_ - iterStartCycle_;
+    st.readBlocks = mem_->readsServed() - iterStartReads_;
+    st.writeBlocks = mem_->writesServed() - iterStartWrites_;
+    st.coalescedRequests =
+        mem_->readQueue().coalescedHits().value() - iterStartCoalesced_;
+    iterStats_.push_back(st);
+
+    menda_assert(tree_.drained(), "merge tree not drained at iteration end");
+
+    if (finalIteration_) {
+        const MergedOutput &merged = output_.merged();
+        if (mode_ == PuMode::Transpose) {
+            resultCsc_.rows = rowOffset_ + csr_->rows;
+            resultCsc_.cols = csr_->cols;
+            resultCsc_.ptr.assign(csr_->cols + 1, 0);
+            resultCsc_.idx.assign(merged.row.begin(), merged.row.end());
+            resultCsc_.val.assign(merged.val.begin(), merged.val.end());
+            for (Index c : merged.col)
+                ++resultCsc_.ptr[c + 1];
+            for (std::size_t c = 0; c < csr_->cols; ++c)
+                resultCsc_.ptr[c + 1] += resultCsc_.ptr[c];
+        } else {
+            resultVec_.assign(csc_->rows, 0.0);
+            for (std::size_t i = 0; i < merged.size(); ++i)
+                resultVec_[merged.row[i]] = merged.val[i];
+        }
+        phase_ = Phase::Draining;
+        return;
+    }
+
+    // Arm the next iteration: this iteration's merged rounds become the
+    // next iteration's sorted input streams, read from the COO (or pair)
+    // ping-pong buffer just written.
+    const int dst = 1 - srcCoo_;
+    coo_[dst] = output_.merged();
+    streams_.clear();
+    for (const auto &[begin, end] : output_.roundBounds()) {
+        StreamDesc desc;
+        desc.source = StreamSource::Coo;
+        desc.begin = begin;
+        desc.end = end;
+        desc.cooBuffer = dst;
+        streams_.push_back(desc);
+    }
+    srcCoo_ = dst;
+    ++iteration_;
+    setupIteration();
+}
+
+void
+Pu::tick()
+{
+    if (phase_ == Phase::Idle || phase_ == Phase::Done)
+        return;
+    ++cycle_;
+
+    if (phase_ == Phase::Draining) {
+        if (mem_->idle())
+            phase_ = Phase::Done;
+        return;
+    }
+
+    // Consume one broadcast memory response (Sec. 3.2).
+    if (!responses_.empty()) {
+        mem::MemRequest req = responses_.front();
+        responses_.pop_front();
+        handleResponse(req);
+    }
+
+    // Link-error recovery: re-issue loads that have waited past the
+    // retry timeout (their response was dropped on the bus).
+    if (config_.retryTimeoutCycles != 0 && (cycle_ & 511) == 0) {
+        for (auto &[addr, entry] : waiters_) {
+            if (cycle_ - entry.issuedAt <= config_.retryTimeoutCycles)
+                continue;
+            mem::MemRequest req;
+            req.addr = addr;
+            req.stream = mem::Stream::ColumnIndex;
+            if (mem_->enqueue(req)) {
+                entry.issuedAt = cycle_;
+                ++retries_;
+            }
+        }
+        for (auto &[addr, issued_at] : ptrInFlight_) {
+            if (cycle_ - issued_at <= config_.retryTimeoutCycles)
+                continue;
+            mem::MemRequest req;
+            req.addr = addr;
+            req.stream = mem::Stream::RowPointer;
+            if (mem_->enqueue(req)) {
+                issued_at = cycle_;
+                ++retries_;
+            }
+        }
+    }
+
+    doRootPop();
+    tree_.tick();
+    for (unsigned slot : tree_.freedSlots()) {
+        if (buffers_[slot]->hasPacket() && !inPushQueue_[slot]) {
+            inPushQueue_[slot] = true;
+            pushQueue_.push_back(slot);
+        }
+    }
+    doPushQueue();
+    doAssignments();
+    pointerEngine();
+    doLoadPort();
+    doStorePort();
+
+    if (output_.iterationDone() && responses_.empty() &&
+        mem_->writeQueue().empty() && waiters_.empty())
+        finishIteration();
+}
+
+} // namespace menda::core

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * A MeNDA processing unit (Sec. 3.2).
+ *
+ * One PU lives in the buffer chip of a DIMM beside one DRAM rank and
+ * transposes one horizontal slice of the sparse matrix (or, in SpMV mode,
+ * merges one slice's column streams into a partition of the result
+ * vector). It consists of:
+ *
+ *   - a hardware merge tree (merge_tree.hh),
+ *   - one prefetch buffer per stream slot (prefetch_buffer.hh),
+ *   - an output unit behind the root PE (output_unit.hh),
+ *   - a controller FSM that walks pointer arrays, carves sorted streams,
+ *     and assigns them to prefetch buffers round by round,
+ *   - a memory interface unit: the read queue (with request coalescing)
+ *     and write queue in front of a rank-private DDR4 controller.
+ *
+ * The PU ticks at the PU clock (800 MHz nominal); its DRAM controller
+ * ticks at the memory clock. One load request and one store request can
+ * be enqueued per PU cycle, and one memory response is consumed per PU
+ * cycle and broadcast to the prefetch buffers (Sec. 3.2).
+ */
+
+#ifndef MENDA_MENDA_PU_HH
+#define MENDA_MENDA_PU_HH
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "dram/controller.hh"
+#include "menda/memory_map.hh"
+#include "menda/merge_tree.hh"
+#include "menda/output_unit.hh"
+#include "menda/prefetch_buffer.hh"
+#include "menda/pu_config.hh"
+#include "menda/stream.hh"
+#include "sparse/format.hh"
+#include "sim/clock.hh"
+
+namespace menda::core
+{
+
+/** What dataflow the PU executes. */
+enum class PuMode : std::uint8_t
+{
+    Transpose, ///< CSR slice -> CSC slice (Sec. 3.1-3.5)
+    Spmv,      ///< CSC slice * x -> dense y partition (Sec. 3.6)
+};
+
+/** Per-iteration measurements for the Fig. 12-style breakdowns. */
+struct IterationStats
+{
+    Cycle cycles = 0;
+    std::uint64_t readBlocks = 0;
+    std::uint64_t writeBlocks = 0;
+    std::uint64_t coalescedRequests = 0;
+};
+
+class Pu : public Ticked
+{
+  public:
+    /**
+     * Transposition PU.
+     * @param slice      this PU's horizontal CSR partition
+     * @param row_offset global index of the slice's first row
+     * @param mem        rank-private memory controller (not owned)
+     */
+    Pu(std::string name, const PuConfig &config,
+       const sparse::CsrMatrix *slice, Index row_offset,
+       dram::MemoryController *mem);
+
+    /**
+     * SpMV PU: @p slice_csc is the horizontal partition stored in
+     * partitioned CSC; @p x is the dense input vector (cols entries).
+     */
+    Pu(std::string name, const PuConfig &config,
+       const sparse::CscMatrix *slice_csc, const std::vector<Value> *x,
+       Index row_offset, dram::MemoryController *mem);
+
+    /** Arm execution; the host writes the start MMIO register (Sec. 4). */
+    void start();
+
+    bool started() const { return phase_ != Phase::Idle; }
+    bool done() const { return phase_ == Phase::Done; }
+
+    void tick() override;
+
+    // --- results ---
+    /** Transposed slice in CSC, row indices global. Valid once done. */
+    const sparse::CscMatrix &resultCsc() const { return resultCsc_; }
+
+    /** SpMV partition result y[row_offset ...]. Valid once done. */
+    const std::vector<double> &resultVector() const { return resultVec_; }
+
+    // --- observability ---
+    Cycle cycles() const { return cycle_; }
+    unsigned iterationsExecuted() const
+    {
+        return static_cast<unsigned>(iterStats_.size());
+    }
+    const std::vector<IterationStats> &iterationStats() const
+    {
+        return iterStats_;
+    }
+    const MergeTree &tree() const { return tree_; }
+    dram::MemoryController &mem() { return *mem_; }
+    const PuMemoryMap &memoryMap() const { return map_; }
+    const StatGroup &stats() const { return stats_; }
+    std::uint64_t loadsIssued() const { return loads_.value(); }
+    std::uint64_t storesIssued() const { return stores_.value(); }
+    std::uint64_t retriesIssued() const { return retries_.value(); }
+
+  private:
+    enum class Phase : std::uint8_t
+    {
+        Idle,
+        Running,  ///< iterations in flight
+        Draining, ///< last iteration: waiting for stores to land
+        Done,
+    };
+
+    void setupIteration();
+    void finishIteration();
+    Packet readElement(const StreamDesc &desc, std::uint64_t element) const;
+    void handleResponse(const mem::MemRequest &req);
+    void doAssignments();
+    void doLoadPort();
+    void doStorePort();
+    void doPushQueue();
+    void doRootPop();
+    void pointerEngine();
+    void noteBufferActivity(unsigned slot);
+    StreamDesc streamForOrdinal(std::uint64_t ordinal) const;
+
+    std::string name_;
+    PuConfig config_;
+    PuMode mode_;
+
+    // Functional inputs.
+    const sparse::CsrMatrix *csr_ = nullptr; ///< transpose input
+    const sparse::CscMatrix *csc_ = nullptr; ///< SpMV input
+    const std::vector<Value> *vecX_ = nullptr;
+    Index rowOffset_ = 0;
+
+    PuMemoryMap map_;
+    dram::MemoryController *mem_;
+
+    MergeTree tree_;
+    OutputUnit output_;
+    std::vector<std::unique_ptr<PrefetchBuffer>> buffers_;
+
+    // Controller FSM state.
+    Phase phase_ = Phase::Idle;
+    unsigned iteration_ = 0;
+    bool finalIteration_ = false;
+    int srcCoo_ = 0;
+    std::vector<StreamDesc> streams_;   ///< this iteration's inputs
+    std::vector<std::uint64_t> bufferNextRound_;
+    std::uint64_t roundsTotal_ = 0;
+    std::uint64_t roundsBeforeIteration_ = 0; ///< root EOLs at setup
+    MergedOutput coo_[2];               ///< functional ping-pong contents
+    Packet reduction_;                  ///< SpMV root reduction register
+    Packet pendingEmit_;                ///< spilled second reduction emit
+    bool pendingEmitValid_ = false;
+
+    // Pointer-walk engine (iteration 0).
+    bool pointerPhase_ = false;
+    std::uint64_t ptrBlocksTotal_ = 0;
+    std::uint64_t ptrNextIssue_ = 0;    ///< index into neededPtrBlocks_
+    std::uint64_t ptrOutstanding_ = 0;
+    std::vector<bool> ptrArrived_;
+    std::vector<std::uint64_t> neededPtrBlocks_;
+    std::deque<Addr> pendingPtrLoads_;
+    std::unordered_map<Addr, Cycle> ptrInFlight_; ///< for link retries
+    std::vector<Index> neRows_;   ///< non-empty rows (cols in SpMV mode)
+
+    // Response path: DRAM-clock callback -> PU-clock consumption.
+    std::deque<mem::MemRequest> responses_;
+
+    /** Buffers awaiting a block, plus when its load was first issued
+     *  (for the link-error retry path). */
+    struct Waiters
+    {
+        std::vector<unsigned> buffers;
+        Cycle issuedAt = 0;
+    };
+    std::unordered_map<Addr, Waiters> waiters_;
+
+    // Load/store/push scheduling.
+    std::deque<unsigned> issueQueue_;
+    std::vector<bool> inIssueQueue_;
+    std::deque<unsigned> pushQueue_;
+    std::vector<bool> inPushQueue_;
+    std::deque<unsigned> assignQueue_;
+    std::vector<bool> inAssignQueue_;
+
+    // Results.
+    sparse::CscMatrix resultCsc_;
+    std::vector<double> resultVec_;
+
+    Cycle cycle_ = 0;
+    Cycle iterStartCycle_ = 0;
+    std::uint64_t iterStartReads_ = 0;
+    std::uint64_t iterStartWrites_ = 0;
+    std::uint64_t iterStartCoalesced_ = 0;
+    std::vector<IterationStats> iterStats_;
+
+    Counter loads_, stores_, responsesHandled_, assignments_, retries_;
+    StatGroup stats_;
+};
+
+} // namespace menda::core
+
+#endif // MENDA_MENDA_PU_HH

@@ -1,0 +1,162 @@
+#include "menda/system.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "sim/clock.hh"
+
+namespace menda::core
+{
+
+template <typename PuVec, typename MemVec>
+void
+MendaSystem::collect(RunResult &result, const PuVec &pus,
+                     const MemVec &mems, double seconds)
+{
+    result.seconds = seconds;
+    lastIterStats_.clear();
+    Cycle bus_cycles_total = 0;
+    Cycle elapsed_mem_cycles = 0;
+    for (std::size_t i = 0; i < pus.size(); ++i) {
+        const Pu &pu = *pus[i];
+        const dram::MemoryController &mem = *mems[i];
+        result.puCycles = std::max(result.puCycles, pu.cycles());
+        result.iterations = std::max(result.iterations,
+                                     pu.iterationsExecuted());
+        result.readBlocks += mem.readsServed();
+        result.writeBlocks += mem.writesServed();
+        result.coalescedRequests +=
+            mem.readQueue().coalescedHits().value();
+        result.rowConflicts += mem.rowConflicts();
+        result.activates += mem.activates();
+        bus_cycles_total += mem.busBusyCycles();
+        elapsed_mem_cycles = std::max(elapsed_mem_cycles, mem.curCycle());
+        lastIterStats_.push_back(pu.iterationStats());
+    }
+    if (elapsed_mem_cycles > 0)
+        result.busUtilization =
+            static_cast<double>(bus_cycles_total) /
+            (static_cast<double>(elapsed_mem_cycles) * pus.size());
+}
+
+TransposeResult
+MendaSystem::transpose(const sparse::CsrMatrix &a)
+{
+    const unsigned n_pus = config_.totalPus();
+    TransposeResult result;
+    result.slices = config_.rowPartitioning
+                        ? sparse::partitionByRows(a, n_pus)
+                        : sparse::partitionByNnz(a, n_pus);
+
+    std::vector<sparse::CsrMatrix> slices;
+    slices.reserve(n_pus);
+    for (const auto &slice : result.slices)
+        slices.push_back(sparse::extractSlice(a, slice));
+
+    TickScheduler sched;
+    ClockDomain *pu_clk = sched.addDomain("pu", config_.pu.freqMhz);
+    ClockDomain *mem_clk = sched.addDomain("dram", config_.dram.freqMhz);
+
+    std::vector<std::unique_ptr<dram::MemoryController>> mems;
+    std::vector<std::unique_ptr<Pu>> pus;
+    for (unsigned i = 0; i < n_pus; ++i) {
+        mems.push_back(std::make_unique<dram::MemoryController>(
+            "mem" + std::to_string(i), config_.dram,
+            config_.pu.requestCoalescing));
+        pus.push_back(std::make_unique<Pu>(
+            "pu" + std::to_string(i), config_.pu, &slices[i],
+            result.slices[i].rowBegin, mems.back().get()));
+        mem_clk->attach(mems.back().get());
+        pu_clk->attach(pus.back().get());
+    }
+
+    for (auto &pu : pus)
+        pu->start();
+    sched.runUntil([&] {
+        return std::all_of(pus.begin(), pus.end(),
+                           [](const auto &pu) { return pu->done(); });
+    });
+
+    collect(result, pus, mems, sched.seconds());
+
+    // Merge the per-PU CSC partitions column-wise: slices are ordered by
+    // row range, so rows stay ascending within each merged column.
+    result.csc.rows = a.rows;
+    result.csc.cols = a.cols;
+    result.csc.ptr.assign(static_cast<std::size_t>(a.cols) + 1, 0);
+    result.csc.idx.resize(a.nnz());
+    result.csc.val.resize(a.nnz());
+    for (const auto &pu : pus)
+        for (std::size_t c = 0; c < a.cols; ++c)
+            result.csc.ptr[c + 1] += pu->resultCsc().ptr[c + 1] -
+                                     pu->resultCsc().ptr[c];
+    for (std::size_t c = 0; c < a.cols; ++c)
+        result.csc.ptr[c + 1] += result.csc.ptr[c];
+    std::vector<std::uint32_t> cursor(result.csc.ptr.begin(),
+                                      result.csc.ptr.end() - 1);
+    for (const auto &pu : pus) {
+        const sparse::CscMatrix &part = pu->resultCsc();
+        for (std::size_t c = 0; c < a.cols; ++c) {
+            for (std::uint32_t k = part.ptr[c]; k < part.ptr[c + 1];
+                 ++k) {
+                const std::uint32_t dst = cursor[c]++;
+                result.csc.idx[dst] = part.idx[k];
+                result.csc.val[dst] = part.val[k];
+            }
+        }
+    }
+    return result;
+}
+
+SpmvResult
+MendaSystem::spmv(const sparse::CsrMatrix &a, const std::vector<Value> &x)
+{
+    menda_assert(x.size() == a.cols, "spmv: vector length mismatch");
+    const unsigned n_pus = config_.totalPus();
+    SpmvResult result;
+    auto slices = sparse::partitionByNnz(a, n_pus);
+
+    // The input is stored in the partitioned CSC format that matches the
+    // output of MeNDA transposition (Sec. 3.6).
+    std::vector<sparse::CscMatrix> csc_slices;
+    csc_slices.reserve(n_pus);
+    for (const auto &slice : slices)
+        csc_slices.push_back(
+            sparse::transposeReference(sparse::extractSlice(a, slice)));
+
+    TickScheduler sched;
+    ClockDomain *pu_clk = sched.addDomain("pu", config_.pu.freqMhz);
+    ClockDomain *mem_clk = sched.addDomain("dram", config_.dram.freqMhz);
+
+    std::vector<std::unique_ptr<dram::MemoryController>> mems;
+    std::vector<std::unique_ptr<Pu>> pus;
+    for (unsigned i = 0; i < n_pus; ++i) {
+        mems.push_back(std::make_unique<dram::MemoryController>(
+            "mem" + std::to_string(i), config_.dram,
+            config_.pu.requestCoalescing));
+        pus.push_back(std::make_unique<Pu>(
+            "pu" + std::to_string(i), config_.pu, &csc_slices[i], &x,
+            slices[i].rowBegin, mems.back().get()));
+        mem_clk->attach(mems.back().get());
+        pu_clk->attach(pus.back().get());
+    }
+
+    for (auto &pu : pus)
+        pu->start();
+    sched.runUntil([&] {
+        return std::all_of(pus.begin(), pus.end(),
+                           [](const auto &pu) { return pu->done(); });
+    });
+
+    collect(result, pus, mems, sched.seconds());
+
+    result.y.assign(a.rows, 0.0);
+    for (unsigned i = 0; i < n_pus; ++i) {
+        const auto &part = pus[i]->resultVector();
+        for (std::size_t r = 0; r < part.size(); ++r)
+            result.y[slices[i].rowBegin + r] = part[r];
+    }
+    return result;
+}
+
+} // namespace menda::core

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * A full MeNDA system: one PU beside every DRAM rank (Sec. 3).
+ *
+ * Throughput scales with the total rank count: a channel is populated
+ * with MeNDA-enabled DIMMs, each rank gets a PU in the DIMM buffer chip,
+ * and every PU works on its own NNZ-balanced horizontal slice of the
+ * matrix with rank-private bandwidth — the "internal" bandwidth NMP
+ * exposes. PUs never communicate (Sec. 3.5).
+ */
+
+#ifndef MENDA_MENDA_SYSTEM_HH
+#define MENDA_MENDA_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "dram/controller.hh"
+#include "dram/dram_config.hh"
+#include "menda/pu.hh"
+#include "menda/pu_config.hh"
+#include "sparse/format.hh"
+#include "sparse/partition.hh"
+
+namespace menda::core
+{
+
+struct SystemConfig
+{
+    unsigned channels = 1;
+    unsigned dimmsPerChannel = 2;
+    unsigned ranksPerDimm = 2;
+    PuConfig pu;
+    dram::DramConfig dram = dram::DramConfig::ddr4_2400r(1);
+
+    /**
+     * Use the naive equal-row-range split instead of NNZ-balanced
+     * partitioning (Sec. 3.5 ablation). Execution time then tracks the
+     * most loaded PU.
+     */
+    bool rowPartitioning = false;
+
+    /** One PU per rank. */
+    unsigned
+    totalPus() const
+    {
+        return channels * dimmsPerChannel * ranksPerDimm;
+    }
+
+    /** Aggregate internal (rank-level) peak bandwidth, bytes/sec. */
+    double
+    internalPeakBandwidth() const
+    {
+        return dram.peakBandwidth() * totalPus();
+    }
+};
+
+/** Outcome of one offloaded kernel. */
+struct RunResult
+{
+    double seconds = 0.0;           ///< simulated wall time (max over PUs)
+    Cycle puCycles = 0;             ///< PU cycles of the slowest PU
+    unsigned iterations = 0;        ///< merge iterations (max over PUs)
+    std::uint64_t readBlocks = 0;   ///< total 64 B blocks loaded
+    std::uint64_t writeBlocks = 0;  ///< total 64 B blocks stored
+    std::uint64_t coalescedRequests = 0;
+    std::uint64_t rowConflicts = 0;
+    std::uint64_t activates = 0;
+    double busUtilization = 0.0;    ///< aggregate data-bus busy fraction
+
+    std::uint64_t totalBlocks() const { return readBlocks + writeBlocks; }
+
+    /** Bytes moved per second of execution. */
+    double
+    achievedBandwidth() const
+    {
+        return seconds > 0.0 ? totalBlocks() * 64.0 / seconds : 0.0;
+    }
+
+    /** Transposition throughput metric of the paper: NNZ/s. */
+    double
+    throughputNnzPerSec(std::uint64_t nnz) const
+    {
+        return seconds > 0.0 ? static_cast<double>(nnz) / seconds : 0.0;
+    }
+};
+
+struct TransposeResult : RunResult
+{
+    sparse::CscMatrix csc; ///< merged full transpose (validation view)
+    std::vector<sparse::RowSlice> slices; ///< per-PU partitions
+};
+
+struct SpmvResult : RunResult
+{
+    std::vector<double> y; ///< full result vector
+};
+
+class MendaSystem
+{
+  public:
+    explicit MendaSystem(const SystemConfig &config) : config_(config) {}
+
+    const SystemConfig &config() const { return config_; }
+
+    /** Transpose @p a (CSR -> CSC) across all PUs; cycle simulated. */
+    TransposeResult transpose(const sparse::CsrMatrix &a);
+
+    /**
+     * SpMV y = A * x with A given in the partitioned CSC format MeNDA's
+     * transposition produces (Sec. 3.6).
+     */
+    SpmvResult spmv(const sparse::CsrMatrix &a,
+                    const std::vector<Value> &x);
+
+    /** Per-PU iteration stats of the last run (Fig. 12 analysis). */
+    const std::vector<std::vector<IterationStats>> &
+    lastIterationStats() const
+    {
+        return lastIterStats_;
+    }
+
+  private:
+    /** Aggregate controller/PU counters into @p result. */
+    template <typename PuVec, typename MemVec>
+    void collect(RunResult &result, const PuVec &pus, const MemVec &mems,
+                 double seconds);
+
+    SystemConfig config_;
+    std::vector<std::vector<IterationStats>> lastIterStats_;
+};
+
+} // namespace menda::core
+
+#endif // MENDA_MENDA_SYSTEM_HH

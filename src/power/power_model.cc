@@ -1,0 +1,47 @@
+#include "power/power_model.hh"
+
+namespace menda::power
+{
+
+double
+PuPowerModel::puWatts(const core::PuConfig &config,
+                      bool spmv_units_active) const
+{
+    // Structure scaling relative to the synthesized anchor.
+    const double tree_scale =
+        static_cast<double>(config.leaves - 1) / (anchorLeaves - 1);
+    const double buffer_scale =
+        (static_cast<double>(config.leaves) *
+         config.prefetchBufferEntries) /
+        (static_cast<double>(anchorLeaves) * anchorBufferEntries);
+
+    const double structural =
+        anchorWatts * (treeFraction * tree_scale +
+                       bufferFraction * buffer_scale + controlFraction);
+
+    // Frequency scaling applies to the dynamic share only.
+    const double freq_scale =
+        static_cast<double>(config.freqMhz) / anchorFreqMhz;
+    double watts = structural * (leakageShare +
+                                 (1.0 - leakageShare) * freq_scale);
+    if (spmv_units_active)
+        watts += spmvExtraWatts * (leakageShare +
+                                   (1.0 - leakageShare) * freq_scale);
+    return watts;
+}
+
+double
+PuPowerModel::puAreaMm2(const core::PuConfig &config) const
+{
+    const double tree_scale =
+        static_cast<double>(config.leaves - 1) / (anchorLeaves - 1);
+    const double buffer_scale =
+        (static_cast<double>(config.leaves) *
+         config.prefetchBufferEntries) /
+        (static_cast<double>(anchorLeaves) * anchorBufferEntries);
+    return anchorAreaMm2 * (treeFraction * tree_scale +
+                            bufferFraction * buffer_scale +
+                            controlFraction);
+}
+
+} // namespace menda::power

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Area/power/energy models (Sec. 6.2, Fig. 15, Fig. 16).
+ *
+ * Anchored to the paper's 40 nm Synopsys DC synthesis results:
+ * a MeNDA PU consumes 78.6 mW at 800 MHz in 7.1 mm²; the extra SpMV
+ * logic (vectorized FP multiplier, delay buffer, reduction adders) adds
+ * up to 13.8 mW and negligible area. The model splits the total into
+ * components that scale differently with the Fig. 15 design-space axes:
+ *
+ *   - merge-tree logic scales with the PE count (leaves - 1);
+ *   - prefetch-buffer SRAM scales with leaves x entries;
+ *   - control + memory-interface power is roughly fixed;
+ *   - dynamic power scales linearly with frequency, leakage does not.
+ *
+ * DRAM energy uses flat per-command/burst energies typical of DDR4
+ * datasheet IDD values; only relative EDP trends are consumed by the
+ * benches, matching how the paper uses them.
+ */
+
+#ifndef MENDA_POWER_POWER_MODEL_HH
+#define MENDA_POWER_POWER_MODEL_HH
+
+#include <cstdint>
+
+#include "menda/pu_config.hh"
+
+namespace menda::power
+{
+
+struct PuPowerModel
+{
+    // --- synthesis anchor (Tab. 1 nominal configuration) ---
+    double anchorWatts = 0.0786;   ///< 78.6 mW @ 800 MHz, 1024 leaves
+    double anchorAreaMm2 = 7.1;    ///< in 40 nm
+    double spmvExtraWatts = 0.0138;///< gated off during transposition
+    std::uint64_t anchorFreqMhz = 800;
+    unsigned anchorLeaves = 1024;
+    unsigned anchorBufferEntries = 32;
+
+    // --- component split of the anchor power (documented assumption) --
+    double treeFraction = 0.30;    ///< PE comparators + FIFOs
+    double bufferFraction = 0.40;  ///< multi-bank prefetch SRAM
+    double controlFraction = 0.30; ///< controller + memory interface
+    double leakageShare = 0.15;    ///< fraction not scaling with f
+
+    /** PU power in watts for an arbitrary configuration. */
+    double puWatts(const core::PuConfig &config,
+                   bool spmv_units_active = false) const;
+
+    /** PU area in mm^2 (40 nm). */
+    double puAreaMm2(const core::PuConfig &config) const;
+};
+
+struct DramPowerModel
+{
+    double actPrechargeNj = 1.5;  ///< per ACT/PRE pair
+    double burstNj = 5.0;         ///< per 64 B RD/WR burst (core)
+    double ioNj = 2.5;            ///< per burst on-DIMM I/O
+    double backgroundWatts = 0.075; ///< per rank
+
+    /** Rank energy in joules over an execution window. */
+    double
+    energyJ(std::uint64_t activates, std::uint64_t bursts,
+            double seconds) const
+    {
+        return activates * actPrechargeNj * 1e-9 +
+               bursts * (burstNj + ioNj) * 1e-9 +
+               backgroundWatts * seconds;
+    }
+};
+
+/** Energy-delay product in J*s. */
+inline double
+edp(double energy_j, double seconds)
+{
+    return energy_j * seconds;
+}
+
+} // namespace menda::power
+
+#endif // MENDA_POWER_POWER_MODEL_HH

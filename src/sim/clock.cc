@@ -1,0 +1,65 @@
+#include "sim/clock.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/log.hh"
+
+namespace menda
+{
+
+ClockDomain *
+TickScheduler::addDomain(const std::string &name, std::uint64_t freq_mhz)
+{
+    if (finalized_)
+        menda_panic("cannot add clock domain '", name, "' after run start");
+    if (freq_mhz == 0)
+        menda_fatal("clock domain '", name, "' frequency must be nonzero");
+    domains_.push_back(std::make_unique<ClockDomain>(name, freq_mhz));
+    return domains_.back().get();
+}
+
+double
+TickScheduler::seconds() const
+{
+    if (baseMhz_ == 0)
+        return 0.0;
+    return static_cast<double>(curTick_) / (baseMhz_ * 1e6);
+}
+
+void
+TickScheduler::finalize()
+{
+    if (finalized_)
+        return;
+    if (domains_.empty())
+        menda_fatal("simulation has no clock domains");
+    baseMhz_ = 1;
+    for (const auto &domain : domains_)
+        baseMhz_ = std::lcm(baseMhz_, domain->freqMhz());
+    for (auto &domain : domains_) {
+        domain->period_ = baseMhz_ / domain->freqMhz();
+        domain->nextFire_ = curTick_;
+    }
+    finalized_ = true;
+}
+
+void
+TickScheduler::step()
+{
+    finalize();
+    Tick next = ~Tick(0);
+    for (const auto &domain : domains_)
+        next = std::min(next, domain->nextFire_);
+    curTick_ = next;
+    for (auto &domain : domains_) {
+        if (domain->nextFire_ != curTick_)
+            continue;
+        for (Ticked *component : domain->components_)
+            component->tick();
+        ++domain->cycle_;
+        domain->nextFire_ += domain->period_;
+    }
+}
+
+} // namespace menda

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Multi-clock-domain cycle simulation kernel.
+ *
+ * MeNDA couples a PU clock (nominally 800 MHz) with the DDR4 command clock
+ * (1200 MHz for DDR4-2400). Both domains are simulated exactly by choosing
+ * the base tick rate as the least common multiple of all domain
+ * frequencies; each domain then fires every (base / freq) ticks with zero
+ * drift. Components implement Ticked and are ticked in registration order
+ * whenever their domain fires.
+ */
+
+#ifndef MENDA_SIM_CLOCK_HH
+#define MENDA_SIM_CLOCK_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace menda
+{
+
+class TickScheduler;
+
+/** A component that does work once per cycle of its clock domain. */
+class Ticked
+{
+  public:
+    virtual ~Ticked() = default;
+
+    /** Advance this component by one cycle of its clock domain. */
+    virtual void tick() = 0;
+};
+
+/**
+ * One clock domain (e.g. "pu" at 800 MHz, "dram" at 1200 MHz).
+ * Created via TickScheduler::addDomain.
+ */
+class ClockDomain
+{
+  public:
+    ClockDomain(std::string name, std::uint64_t freq_mhz)
+        : name_(std::move(name)), freqMhz_(freq_mhz)
+    {}
+
+    const std::string &name() const { return name_; }
+    std::uint64_t freqMhz() const { return freqMhz_; }
+
+    /** Cycles of this domain elapsed since simulation start. */
+    Cycle curCycle() const { return cycle_; }
+
+    /** Period of one cycle in base ticks (valid after finalize()). */
+    Tick period() const { return period_; }
+
+    /** Seconds represented by @p cycles of this domain. */
+    double
+    cyclesToSeconds(Cycle cycles) const
+    {
+        return static_cast<double>(cycles) / (freqMhz_ * 1e6);
+    }
+
+    /** Register @p component to be ticked every cycle of this domain. */
+    void attach(Ticked *component) { components_.push_back(component); }
+
+  private:
+    friend class TickScheduler;
+
+    std::string name_;
+    std::uint64_t freqMhz_;
+    Tick period_ = 0;
+    Tick nextFire_ = 0;
+    Cycle cycle_ = 0;
+    std::vector<Ticked *> components_;
+};
+
+/**
+ * Owns clock domains and advances simulated time.
+ *
+ * Usage:
+ *   TickScheduler sched;
+ *   auto *pu = sched.addDomain("pu", 800);
+ *   auto *dram = sched.addDomain("dram", 1200);
+ *   pu->attach(&my_pu); dram->attach(&my_ctrl);
+ *   sched.runUntil([&]{ return my_pu.done(); });
+ */
+class TickScheduler
+{
+  public:
+    /** Create a domain with @p freq_mhz MHz. Must precede the first run. */
+    ClockDomain *addDomain(const std::string &name, std::uint64_t freq_mhz);
+
+    /** Current simulated time in base ticks. */
+    Tick curTick() const { return curTick_; }
+
+    /** Base tick rate in MHz (LCM of all domain frequencies). */
+    std::uint64_t baseFreqMhz() const { return baseMhz_; }
+
+    /** Simulated seconds elapsed. */
+    double seconds() const;
+
+    /**
+     * Run until @p done returns true. The predicate is evaluated after
+     * every simulated tick on which at least one domain fired.
+     * @return number of base ticks elapsed during this call.
+     */
+    template <typename Done>
+    Tick
+    runUntil(Done &&done, Tick max_ticks = ~Tick(0))
+    {
+        finalize();
+        Tick start = curTick_;
+        while (!done()) {
+            if (curTick_ - start >= max_ticks)
+                break;
+            step();
+        }
+        return curTick_ - start;
+    }
+
+    /** Advance to the next firing tick and tick all due domains. */
+    void step();
+
+  private:
+    void finalize();
+
+    bool finalized_ = false;
+    Tick curTick_ = 0;
+    std::uint64_t baseMhz_ = 0;
+    std::vector<std::unique_ptr<ClockDomain>> domains_;
+};
+
+} // namespace menda
+
+#endif // MENDA_SIM_CLOCK_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fixed-capacity FIFO modeling the hardware queues between merge-tree PEs.
+ *
+ * The paper's PEs are decoupled by 2-entry FIFOs so that every PE can pop
+ * one packet per cycle without a combinational path from root to leaves
+ * (Sec. 3.2). This template is a behavioural model: capacity checks stand
+ * in for back-pressure wires.
+ */
+
+#ifndef MENDA_SIM_FIFO_HH
+#define MENDA_SIM_FIFO_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace menda
+{
+
+template <typename T>
+class Fifo
+{
+  public:
+    explicit Fifo(std::size_t capacity) : capacity_(capacity)
+    {
+        menda_assert(capacity > 0, "FIFO capacity must be positive");
+        slots_.resize(capacity);
+    }
+
+    bool empty() const { return size_ == 0; }
+    bool full() const { return size_ == capacity_; }
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return capacity_; }
+    std::size_t space() const { return capacity_ - size_; }
+
+    /** Reference to the oldest element. FIFO must be non-empty. */
+    const T &
+    front() const
+    {
+        menda_assert(size_ > 0, "front() on empty FIFO");
+        return slots_[head_];
+    }
+
+    /** Append @p item; FIFO must not be full. */
+    void
+    push(const T &item)
+    {
+        menda_assert(size_ < capacity_, "push() on full FIFO");
+        slots_[(head_ + size_) % capacity_] = item;
+        ++size_;
+    }
+
+    /** Remove and return the oldest element; FIFO must be non-empty. */
+    T
+    pop()
+    {
+        menda_assert(size_ > 0, "pop() on empty FIFO");
+        T item = slots_[head_];
+        head_ = (head_ + 1) % capacity_;
+        --size_;
+        return item;
+    }
+
+    /** Discard all contents. */
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+  private:
+    std::size_t capacity_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+    std::vector<T> slots_;
+};
+
+} // namespace menda
+
+#endif // MENDA_SIM_FIFO_HH

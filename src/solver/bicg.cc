@@ -1,0 +1,228 @@
+#include "solver/bicg.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace menda::solver
+{
+
+namespace
+{
+
+double
+dot(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        sum += a[i] * b[i];
+    return sum;
+}
+
+double
+norm(const std::vector<double> &a)
+{
+    return std::sqrt(dot(a, a));
+}
+
+/** y += alpha * x */
+void
+axpy(double alpha, const std::vector<double> &x, std::vector<double> &y)
+{
+    for (std::size_t i = 0; i < y.size(); ++i)
+        y[i] += alpha * x[i];
+}
+
+/** p = r + beta * p */
+void
+update_direction(const std::vector<double> &r, double beta,
+                 std::vector<double> &p)
+{
+    for (std::size_t i = 0; i < p.size(); ++i)
+        p[i] = r[i] + beta * p[i];
+}
+
+std::vector<Value>
+toValues(const std::vector<double> &x)
+{
+    return std::vector<Value>(x.begin(), x.end());
+}
+
+} // namespace
+
+LinearOperator
+referenceOperator(const sparse::CsrMatrix &a)
+{
+    menda_assert(a.rows == a.cols, "solvers need a square matrix");
+    LinearOperator op;
+    op.n = a.rows;
+    op.apply = [&a](const std::vector<double> &x) {
+        return sparse::spmvReference(a, toValues(x));
+    };
+    // Column-wise traversal of CSR = multiplying by the transpose.
+    op.applyTranspose = [&a](const std::vector<double> &x) {
+        std::vector<double> y(a.cols, 0.0);
+        for (Index r = 0; r < a.rows; ++r)
+            for (std::uint32_t k = a.ptr[r]; k < a.ptr[r + 1]; ++k)
+                y[a.idx[k]] += double(a.val[k]) * x[r];
+        return y;
+    };
+    return op;
+}
+
+MendaOperator::MendaOperator(const sparse::CsrMatrix &a,
+                             const core::SystemConfig &config)
+    : a_(a), config_(config)
+{
+    menda_assert(a.rows == a.cols, "solvers need a square matrix");
+    // One near-memory transposition up front; BiCG/QMR then reuse Aᵀ
+    // every iteration — the amortization story of Sec. 2.1.
+    core::MendaSystem sys(config_);
+    core::TransposeResult t = sys.transpose(a_);
+    transposeSeconds_ = t.seconds;
+    at_ = sparse::asCsrOfTranspose(t.csc);
+}
+
+LinearOperator
+MendaOperator::op()
+{
+    LinearOperator op;
+    op.n = a_.rows;
+    op.apply = [this](const std::vector<double> &x) {
+        core::MendaSystem sys(config_);
+        core::SpmvResult r = sys.spmv(a_, toValues(x));
+        spmvSeconds_ += r.seconds;
+        return r.y;
+    };
+    op.applyTranspose = [this](const std::vector<double> &x) {
+        core::MendaSystem sys(config_);
+        core::SpmvResult r = sys.spmv(at_, toValues(x));
+        spmvSeconds_ += r.seconds;
+        return r.y;
+    };
+    return op;
+}
+
+SolveResult
+bicg(const LinearOperator &op, const std::vector<double> &b,
+     unsigned max_iterations, double tol)
+{
+    menda_assert(b.size() == op.n, "rhs length mismatch");
+    SolveResult result;
+    result.x.assign(op.n, 0.0);
+
+    std::vector<double> r = b;           // r = b - A*0
+    std::vector<double> rt = b;          // shadow residual
+    std::vector<double> p = r, pt = rt;
+    const double bnorm = norm(b);
+    if (bnorm == 0.0) {
+        result.converged = true;
+        return result;
+    }
+
+    double rho = dot(rt, r);
+    for (unsigned it = 0; it < max_iterations; ++it) {
+        if (std::abs(rho) < 1e-300) {
+            result.breakdown = true;
+            break;
+        }
+        const std::vector<double> q = op.apply(p);
+        const std::vector<double> qt = op.applyTranspose(pt);
+        const double denom = dot(pt, q);
+        if (std::abs(denom) < 1e-300) {
+            result.breakdown = true;
+            break;
+        }
+        const double alpha = rho / denom;
+        axpy(alpha, p, result.x);
+        axpy(-alpha, q, r);
+        axpy(-alpha, qt, rt);
+        ++result.iterations;
+
+        result.residualNorm = norm(r) / bnorm;
+        if (result.residualNorm < tol) {
+            result.converged = true;
+            break;
+        }
+        const double rho_next = dot(rt, r);
+        const double beta = rho_next / rho;
+        rho = rho_next;
+        update_direction(r, beta, p);
+        update_direction(rt, beta, pt);
+    }
+    if (!result.converged)
+        result.residualNorm = norm(r) / bnorm;
+    return result;
+}
+
+SolveResult
+qmr(const LinearOperator &op, const std::vector<double> &b,
+    unsigned max_iterations, double tol)
+{
+    // Quasi-minimal residual via Schönauer-Weiss minimal-residual
+    // smoothing over the BiCG iterates: after every BiCG step, the
+    // smoothed iterate x_s minimizes the residual on the line between
+    // the previous smoothed iterate and the new BiCG iterate, giving
+    // the monotone convergence QMR is used for. Same operator cost as
+    // BiCG: one A and one Aᵀ product per iteration.
+    menda_assert(b.size() == op.n, "rhs length mismatch");
+    SolveResult result;
+    result.x.assign(op.n, 0.0); // smoothed iterate x_s
+    std::vector<double> x(op.n, 0.0);
+
+    std::vector<double> r = b;
+    std::vector<double> rt = b;
+    std::vector<double> p = r, pt = rt;
+    std::vector<double> r_s = b; // smoothed residual
+    const double bnorm = norm(b);
+    if (bnorm == 0.0) {
+        result.converged = true;
+        return result;
+    }
+
+    double rho = dot(rt, r);
+    for (unsigned it = 0; it < max_iterations; ++it) {
+        if (std::abs(rho) < 1e-300) {
+            result.breakdown = true;
+            break;
+        }
+        const std::vector<double> q = op.apply(p);
+        const std::vector<double> qt = op.applyTranspose(pt);
+        const double denom = dot(pt, q);
+        if (std::abs(denom) < 1e-300) {
+            result.breakdown = true;
+            break;
+        }
+        const double alpha = rho / denom;
+        axpy(alpha, p, x);
+        axpy(-alpha, q, r);
+        axpy(-alpha, qt, rt);
+        ++result.iterations;
+
+        // Minimal-residual smoothing: x_s += eta (x - x_s) with eta
+        // minimizing || r_s + eta (r - r_s) ||.
+        std::vector<double> diff(op.n);
+        for (std::size_t i = 0; i < diff.size(); ++i)
+            diff[i] = r[i] - r_s[i];
+        const double dd = dot(diff, diff);
+        const double eta = dd > 0.0 ? -dot(r_s, diff) / dd : 0.0;
+        for (std::size_t i = 0; i < op.n; ++i) {
+            result.x[i] += eta * (x[i] - result.x[i]);
+            r_s[i] += eta * diff[i];
+        }
+
+        result.residualNorm = norm(r_s) / bnorm;
+        if (result.residualNorm < tol) {
+            result.converged = true;
+            break;
+        }
+        const double rho_next = dot(rt, r);
+        const double beta = rho_next / rho;
+        rho = rho_next;
+        update_direction(r, beta, p);
+        update_direction(rt, beta, pt);
+    }
+    return result;
+}
+
+} // namespace menda::solver

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Iterative linear solvers that need the transpose: the biconjugate
+ * gradient method (BiCG, Fletcher 1976) and a standard quasi-minimal
+ * residual variant (QMR, Freund & Nachtigal 1991) — the paper's
+ * motivating "essential building block" applications (Sec. 2.1): both
+ * multiply by A *and* Aᵀ every iteration, so a matrix stored in CSR
+ * needs either an explicit transpose (what MeNDA provides near memory)
+ * or a slow column-wise traversal.
+ *
+ * The solvers are substrate-agnostic: they call an abstract SpMV
+ * operator, so the same code runs against the host reference or the
+ * MeNDA simulator (menda::solver::MendaOperator), which is how the
+ * linear_solver example measures the offload benefit end-to-end.
+ */
+
+#ifndef MENDA_SOLVER_BICG_HH
+#define MENDA_SOLVER_BICG_HH
+
+#include <functional>
+#include <vector>
+
+#include "menda/system.hh"
+#include "sparse/format.hh"
+
+namespace menda::solver
+{
+
+/** y = A x and y = Aᵀ x, supplied by the chosen substrate. */
+struct LinearOperator
+{
+    std::function<std::vector<double>(const std::vector<double> &)> apply;
+    std::function<std::vector<double>(const std::vector<double> &)>
+        applyTranspose;
+    Index n = 0;
+};
+
+/** Host-side reference operator over CSR (transpose done per call). */
+LinearOperator referenceOperator(const sparse::CsrMatrix &a);
+
+/**
+ * MeNDA-backed operator: Aᵀ is produced once by simulated near-memory
+ * transposition, then both products run as simulated near-memory SpMV.
+ * Accumulates the simulated seconds of every offload it performs.
+ */
+class MendaOperator
+{
+  public:
+    MendaOperator(const sparse::CsrMatrix &a,
+                  const core::SystemConfig &config);
+
+    LinearOperator op();
+
+    /** Simulated seconds spent in the one-time transposition. */
+    double transposeSeconds() const { return transposeSeconds_; }
+
+    /** Simulated seconds across all SpMV offloads so far. */
+    double spmvSeconds() const { return spmvSeconds_; }
+
+  private:
+    const sparse::CsrMatrix &a_;
+    sparse::CsrMatrix at_; ///< Aᵀ in CSR (from the simulated transpose)
+    core::SystemConfig config_;
+    double transposeSeconds_ = 0.0;
+    double spmvSeconds_ = 0.0;
+};
+
+struct SolveResult
+{
+    std::vector<double> x;
+    unsigned iterations = 0;
+    double residualNorm = 0.0;
+    bool converged = false;
+    bool breakdown = false; ///< Lanczos breakdown (rho ~ 0)
+};
+
+/**
+ * Biconjugate gradient for square, possibly non-symmetric A.
+ * @param op   the substrate operator (n x n)
+ * @param b    right-hand side
+ * @param tol  relative residual target ||r|| / ||b||
+ */
+SolveResult bicg(const LinearOperator &op, const std::vector<double> &b,
+                 unsigned max_iterations = 1000, double tol = 1e-8);
+
+/**
+ * Simplified QMR (quasi-minimal residual smoothing over BiCG): same
+ * operator requirements, smoother convergence on indefinite systems.
+ */
+SolveResult qmr(const LinearOperator &op, const std::vector<double> &b,
+                unsigned max_iterations = 1000, double tol = 1e-8);
+
+} // namespace menda::solver
+
+#endif // MENDA_SOLVER_BICG_HH

@@ -1,0 +1,71 @@
+#include "solver/spmm.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace menda::solver
+{
+
+sparse::CsrMatrix
+spmm(const sparse::CsrMatrix &a, const sparse::CsrMatrix &b)
+{
+    menda_assert(a.cols == b.rows, "spmm: inner dimensions must agree");
+    sparse::CsrMatrix c;
+    c.rows = a.rows;
+    c.cols = b.cols;
+    c.ptr.assign(static_cast<std::size_t>(a.rows) + 1, 0);
+
+    // Gustavson: accumulate row i of C as a sparse combination of the
+    // rows of B selected by row i of A, using a dense scratch row.
+    std::vector<double> accumulator(b.cols, 0.0);
+    std::vector<Index> touched;
+    std::vector<char> seen(b.cols, 0);
+
+    for (Index i = 0; i < a.rows; ++i) {
+        touched.clear();
+        for (std::uint32_t ka = a.ptr[i]; ka < a.ptr[i + 1]; ++ka) {
+            const Index k = a.idx[ka];
+            const double av = a.val[ka];
+            for (std::uint32_t kb = b.ptr[k]; kb < b.ptr[k + 1]; ++kb) {
+                const Index j = b.idx[kb];
+                if (!seen[j]) {
+                    seen[j] = 1;
+                    touched.push_back(j);
+                    accumulator[j] = 0.0;
+                }
+                accumulator[j] += av * double(b.val[kb]);
+            }
+        }
+        std::sort(touched.begin(), touched.end());
+        for (Index j : touched) {
+            c.idx.push_back(j);
+            c.val.push_back(static_cast<Value>(accumulator[j]));
+            seen[j] = 0;
+        }
+        c.ptr[i + 1] = static_cast<std::uint32_t>(c.idx.size());
+    }
+    return c;
+}
+
+sparse::CsrMatrix
+normalEquations(const sparse::CsrMatrix &at, const sparse::CsrMatrix &a)
+{
+    menda_assert(at.rows == a.cols && at.cols == a.rows,
+                 "normalEquations: at must be the transpose shape of a");
+    return spmm(at, a);
+}
+
+std::uint64_t
+spmmWork(const sparse::CsrMatrix &a, const sparse::CsrMatrix &b)
+{
+    std::uint64_t work = 0;
+    for (Index i = 0; i < a.rows; ++i)
+        for (std::uint32_t ka = a.ptr[i]; ka < a.ptr[i + 1]; ++ka)
+            work += b.ptr[a.idx[ka] + 1] - b.ptr[a.idx[ka]];
+    return work;
+}
+
+} // namespace menda::solver

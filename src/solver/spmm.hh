@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Host-side sparse matrix-matrix helpers for the applications the paper
+ * motivates: Gustavson-style SpMM and the AᵀA normal-equations product
+ * that dominates SLAM information-matrix updates (Sec. 2.1 — "the
+ * simultaneous localization and mapping problem requires a new
+ * information matrix at each step, and performing AᵀA on the new matrix
+ * dominates the execution time").
+ *
+ * These are golden references / host utilities: the near-memory part of
+ * that pipeline (the transposition feeding AᵀA) is what MeNDA offloads;
+ * see examples/slam_information_matrix.cpp.
+ */
+
+#ifndef MENDA_SOLVER_SPMM_HH
+#define MENDA_SOLVER_SPMM_HH
+
+#include "sparse/format.hh"
+
+namespace menda::solver
+{
+
+/** C = A * B by Gustavson's row-wise algorithm. */
+sparse::CsrMatrix spmm(const sparse::CsrMatrix &a,
+                       const sparse::CsrMatrix &b);
+
+/**
+ * AᵀA given A in CSR and Aᵀ in CSR (e.g. straight out of MeNDA's
+ * partitioned output). Symmetric positive semi-definite by construction.
+ */
+sparse::CsrMatrix normalEquations(const sparse::CsrMatrix &at,
+                                  const sparse::CsrMatrix &a);
+
+/** Work metric of the product (partial-product count). */
+std::uint64_t spmmWork(const sparse::CsrMatrix &a,
+                       const sparse::CsrMatrix &b);
+
+} // namespace menda::solver
+
+#endif // MENDA_SOLVER_SPMM_HH

@@ -1,0 +1,88 @@
+#include "sparse/partition.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace menda::sparse
+{
+
+std::vector<RowSlice>
+partitionByNnz(const CsrMatrix &a, unsigned parts)
+{
+    menda_assert(parts > 0, "partitionByNnz: need at least one part");
+    std::vector<RowSlice> slices(parts);
+    const std::uint64_t total = a.nnz();
+    Index row = 0;
+    for (unsigned p = 0; p < parts; ++p) {
+        RowSlice &slice = slices[p];
+        slice.rowBegin = row;
+        slice.nnzBegin = a.ptr[row];
+        // Target cumulative NNZ at the end of this slice.
+        const std::uint64_t target = total * (p + 1) / parts;
+        while (row < a.rows && a.ptr[row + 1] <= target)
+            ++row;
+        // Take one more row if it brings us closer to the target than
+        // stopping short does (and rows remain for later slices).
+        if (row < a.rows && p + 1 < parts) {
+            std::uint64_t under = target - a.ptr[row];
+            std::uint64_t over = a.ptr[row + 1] - target;
+            if (over < under && a.rows - (row + 1) >=
+                    static_cast<Index>(parts - p - 1))
+                ++row;
+        }
+        if (p + 1 == parts)
+            row = a.rows;
+        slice.rowEnd = row;
+        slice.nnzEnd = a.ptr[row];
+    }
+    return slices;
+}
+
+std::vector<RowSlice>
+partitionByRows(const CsrMatrix &a, unsigned parts)
+{
+    menda_assert(parts > 0, "partitionByRows: need at least one part");
+    std::vector<RowSlice> slices(parts);
+    for (unsigned p = 0; p < parts; ++p) {
+        RowSlice &slice = slices[p];
+        slice.rowBegin = static_cast<Index>(
+            std::uint64_t(a.rows) * p / parts);
+        slice.rowEnd = static_cast<Index>(
+            std::uint64_t(a.rows) * (p + 1) / parts);
+        slice.nnzBegin = a.ptr[slice.rowBegin];
+        slice.nnzEnd = a.ptr[slice.rowEnd];
+    }
+    return slices;
+}
+
+CsrMatrix
+extractSlice(const CsrMatrix &a, const RowSlice &slice)
+{
+    CsrMatrix out;
+    out.rows = slice.rows();
+    out.cols = a.cols;
+    out.ptr.resize(static_cast<std::size_t>(out.rows) + 1);
+    for (Index r = 0; r <= out.rows; ++r)
+        out.ptr[r] = a.ptr[slice.rowBegin + r] - slice.nnzBegin;
+    out.idx.assign(a.idx.begin() + slice.nnzBegin,
+                   a.idx.begin() + slice.nnzEnd);
+    out.val.assign(a.val.begin() + slice.nnzBegin,
+                   a.val.begin() + slice.nnzEnd);
+    return out;
+}
+
+double
+imbalance(const CsrMatrix &a, const std::vector<RowSlice> &slices)
+{
+    if (a.nnz() == 0 || slices.empty())
+        return 1.0;
+    const double ideal =
+        static_cast<double>(a.nnz()) / static_cast<double>(slices.size());
+    std::uint64_t worst = 0;
+    for (const RowSlice &slice : slices)
+        worst = std::max(worst, slice.nnz());
+    return static_cast<double>(worst) / ideal;
+}
+
+} // namespace menda::sparse

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * NNZ-balanced horizontal matrix partitioning (Sec. 3.5).
+ *
+ * Each MeNDA PU transposes a contiguous horizontal slice of the matrix so
+ * no PU ever communicates with another. Because PU execution time is
+ * roughly proportional to its NNZ, slices are chosen to equalize NNZ, not
+ * row counts. The host performs this split during data allocation.
+ */
+
+#ifndef MENDA_SPARSE_PARTITION_HH
+#define MENDA_SPARSE_PARTITION_HH
+
+#include <vector>
+
+#include "sparse/format.hh"
+
+namespace menda::sparse
+{
+
+/** One PU's slice: rows [rowBegin, rowEnd) and its global NNZ offset. */
+struct RowSlice
+{
+    Index rowBegin = 0;
+    Index rowEnd = 0;
+    std::uint64_t nnzBegin = 0;
+    std::uint64_t nnzEnd = 0;
+
+    Index rows() const { return rowEnd - rowBegin; }
+    std::uint64_t nnz() const { return nnzEnd - nnzBegin; }
+};
+
+/**
+ * Split @p a into @p parts contiguous horizontal slices with near-equal
+ * NNZ. Every row belongs to exactly one slice; slices may be empty for
+ * pathological inputs (fewer non-empty rows than parts).
+ */
+std::vector<RowSlice> partitionByNnz(const CsrMatrix &a, unsigned parts);
+
+/**
+ * The naive alternative of Sec. 3.5: split by equal ROW ranges (what
+ * address-MSB assignment amounts to). Skewed matrices then hand some
+ * PUs far more non-zeros than others — the imbalance the NNZ-based
+ * scheme exists to avoid. Provided for the ablation bench.
+ */
+std::vector<RowSlice> partitionByRows(const CsrMatrix &a, unsigned parts);
+
+/** Extract the sub-matrix of @p slice as a standalone CSR (same cols). */
+CsrMatrix extractSlice(const CsrMatrix &a, const RowSlice &slice);
+
+/**
+ * Maximum NNZ imbalance: max slice nnz / ideal. 1.0 is perfect. Used by
+ * tests to bound the balancing guarantee (within the longest single row).
+ */
+double imbalance(const CsrMatrix &a, const std::vector<RowSlice> &slices);
+
+} // namespace menda::sparse
+
+#endif // MENDA_SPARSE_PARTITION_HH

@@ -1,0 +1,113 @@
+#include "sparse/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace menda::sparse
+{
+
+LengthDistribution
+distributionOf(const std::vector<std::uint32_t> &lengths)
+{
+    LengthDistribution dist;
+    if (lengths.empty())
+        return dist;
+    dist.min = ~std::uint32_t(0);
+    double sum = 0.0, sum_sq = 0.0;
+    for (std::uint32_t len : lengths) {
+        dist.min = std::min(dist.min, len);
+        dist.max = std::max(dist.max, len);
+        sum += len;
+        sum_sq += double(len) * len;
+        unsigned bucket = 0;
+        if (len > 0) {
+            bucket = 1;
+            while ((1u << bucket) <= len)
+                ++bucket;
+        }
+        if (dist.log2Histogram.size() <= bucket)
+            dist.log2Histogram.resize(bucket + 1, 0);
+        ++dist.log2Histogram[bucket];
+    }
+    const double n = static_cast<double>(lengths.size());
+    dist.mean = sum / n;
+    const double var = std::max(0.0, sum_sq / n - dist.mean * dist.mean);
+    dist.stddev = std::sqrt(var);
+    dist.skew = dist.mean > 0.0 ? std::sqrt(sum_sq / n) / dist.mean : 1.0;
+    return dist;
+}
+
+unsigned
+MatrixStats::mergeIterations(unsigned leaves) const
+{
+    menda_assert(leaves >= 2, "need at least a 2-leaf tree");
+    const std::uint64_t streams = rows - emptyRows;
+    if (streams <= 1)
+        return 1;
+    unsigned iterations = 0;
+    std::uint64_t remaining = streams;
+    while (remaining > 1) {
+        remaining = (remaining + leaves - 1) / leaves;
+        ++iterations;
+    }
+    return iterations;
+}
+
+MatrixStats
+analyze(const CsrMatrix &a)
+{
+    MatrixStats stats;
+    stats.rows = a.rows;
+    stats.cols = a.cols;
+    stats.nnz = a.nnz();
+    stats.density = a.density();
+
+    std::vector<std::uint32_t> row_lengths(a.rows, 0);
+    std::vector<std::uint32_t> col_lengths(a.cols, 0);
+    for (Index r = 0; r < a.rows; ++r) {
+        row_lengths[r] = a.ptr[r + 1] - a.ptr[r];
+        if (row_lengths[r] == 0)
+            ++stats.emptyRows;
+        for (std::uint32_t k = a.ptr[r]; k < a.ptr[r + 1]; ++k) {
+            ++col_lengths[a.idx[k]];
+            const Index c = a.idx[k];
+            const Index dist = c > r ? c - r : r - c;
+            stats.bandwidth = std::max(stats.bandwidth, dist);
+        }
+    }
+    for (Index c = 0; c < a.cols; ++c)
+        if (col_lengths[c] == 0)
+            ++stats.emptyCols;
+    stats.rowLengths = distributionOf(row_lengths);
+    stats.colLengths = distributionOf(col_lengths);
+
+    // Structural symmetry via one transpose: an entry is symmetric if
+    // (j, i) exists whenever (i, j) does.
+    if (a.rows == a.cols && a.nnz() > 0) {
+        CscMatrix t = transposeReference(a);
+        // CSC of A lists, per column i, the rows j with A(j,i) != 0 —
+        // i.e. row i of Aᵀ. Count matches against row i of A.
+        std::uint64_t symmetric = 0;
+        for (Index i = 0; i < a.rows; ++i) {
+            std::uint32_t ka = a.ptr[i], kt = t.ptr[i];
+            while (ka < a.ptr[i + 1] && kt < t.ptr[i + 1]) {
+                if (a.idx[ka] == t.idx[kt]) {
+                    ++symmetric;
+                    ++ka;
+                    ++kt;
+                } else if (a.idx[ka] < t.idx[kt]) {
+                    ++ka;
+                } else {
+                    ++kt;
+                }
+            }
+        }
+        stats.structuralSymmetry =
+            static_cast<double>(symmetric) / a.nnz();
+    }
+    return stats;
+}
+
+} // namespace menda::sparse

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Structural statistics of sparse matrices — the quantities the paper's
+ * analysis sections reason with: row/column-length distributions (the
+ * stream lengths MeNDA merges), empty lines (streams that vanish),
+ * bandwidth (locality), and skew (workload-balance difficulty).
+ */
+
+#ifndef MENDA_SPARSE_STATS_HH
+#define MENDA_SPARSE_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/format.hh"
+
+namespace menda::sparse
+{
+
+struct LengthDistribution
+{
+    std::uint32_t min = 0;
+    std::uint32_t max = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    /** Skew factor rms/mean; 1.0 = perfectly even. */
+    double skew = 1.0;
+    /** Histogram over power-of-two buckets: [0], [1], [2,3], [4,7]... */
+    std::vector<std::uint64_t> log2Histogram;
+};
+
+struct MatrixStats
+{
+    Index rows = 0;
+    Index cols = 0;
+    std::uint64_t nnz = 0;
+    double density = 0.0;
+    Index emptyRows = 0;
+    Index emptyCols = 0;
+    LengthDistribution rowLengths;
+    LengthDistribution colLengths;
+    /** Maximum |col - row| over all non-zeros (matrix bandwidth). */
+    Index bandwidth = 0;
+    /** Fraction of non-zeros whose mirror entry also exists. */
+    double structuralSymmetry = 0.0;
+    /**
+     * Merge iterations a MeNDA PU with @c leaves streams needs per the
+     * Sec. 3.1 formula, for the whole matrix on one PU.
+     */
+    unsigned mergeIterations(unsigned leaves) const;
+};
+
+/** Compute all statistics in one pass (plus one transpose for columns). */
+MatrixStats analyze(const CsrMatrix &a);
+
+/** Distribution of the values in @p lengths. */
+LengthDistribution distributionOf(const std::vector<std::uint32_t> &lengths);
+
+} // namespace menda::sparse
+
+#endif // MENDA_SPARSE_STATS_HH

@@ -1,0 +1,166 @@
+#include "sparse/workloads.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/log.hh"
+#include "sparse/generate.hh"
+#include "sparse/mmio.hh"
+
+namespace menda::sparse
+{
+
+namespace
+{
+
+/** Smallest power of two >= n (R-MAT needs power-of-two dimensions). */
+Index
+ceilPow2(Index n)
+{
+    Index p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+std::uint64_t
+specSeed(const WorkloadSpec &spec)
+{
+    // Stable, name-derived seed so every run regenerates the same matrix.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (char ch : spec.name) {
+        h ^= static_cast<unsigned char>(ch);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace
+
+const std::vector<WorkloadSpec> &
+table3Uniform()
+{
+    static const std::vector<WorkloadSpec> specs = {
+        {"N1", 262144, 262144, 3435973, MatrixKind::Uniform},
+        {"N2", 262144, 262144, 1717986, MatrixKind::Uniform},
+        {"N3", 262144, 262144, 858993, MatrixKind::Uniform},
+        {"N4", 262144, 262144, 429496, MatrixKind::Uniform},
+        {"N5", 524288, 524288, 8388608, MatrixKind::Uniform},
+        {"N6", 1048576, 1048576, 8388608, MatrixKind::Uniform},
+        {"N7", 2097152, 2097152, 8388608, MatrixKind::Uniform},
+        {"N8", 4194304, 4194304, 8388608, MatrixKind::Uniform},
+    };
+    return specs;
+}
+
+const std::vector<WorkloadSpec> &
+table3PowerLaw()
+{
+    static const std::vector<WorkloadSpec> specs = {
+        {"P1", 262144, 262144, 3435973, MatrixKind::PowerLaw},
+        {"P2", 262144, 262144, 1717986, MatrixKind::PowerLaw},
+        {"P3", 262144, 262144, 858993, MatrixKind::PowerLaw},
+        {"P4", 262144, 262144, 429496, MatrixKind::PowerLaw},
+        {"P5", 524288, 524288, 8388608, MatrixKind::PowerLaw},
+        {"P6", 1048576, 1048576, 8388608, MatrixKind::PowerLaw},
+        {"P7", 2097152, 2097152, 8388608, MatrixKind::PowerLaw},
+        {"P8", 4194304, 4194304, 8388608, MatrixKind::PowerLaw},
+    };
+    return specs;
+}
+
+const std::vector<WorkloadSpec> &
+table4()
+{
+    static const std::vector<WorkloadSpec> specs = {
+        {"amazon", 262111, 262111, 1234877, MatrixKind::LocalGraph},
+        {"ASIC_320K", 321821, 321821, 1931828, MatrixKind::Circuit},
+        {"bcsstk32", 44609, 44609, 2014701, MatrixKind::Structural},
+        {"language", 399130, 399130, 1216334, MatrixKind::LocalGraph},
+        {"mac_econ", 206500, 206500, 1273389, MatrixKind::Economic},
+        {"parabolic", 525825, 525825, 3674625, MatrixKind::FluidDynamics},
+        {"rajat21", 411676, 411676, 1876011, MatrixKind::Circuit},
+        {"sme3Dc", 42930, 42930, 3148656, MatrixKind::Structural},
+        {"Slashdot0902", 82168, 82168, 948464, MatrixKind::DirectedGraph},
+        {"stomach", 213360, 213360, 3021648, MatrixKind::FluidDynamics},
+        {"transient", 178866, 178866, 961368, MatrixKind::Circuit},
+        {"twotone", 120750, 120750, 1206265, MatrixKind::Circuit},
+        {"venkat01", 62424, 62424, 1717792, MatrixKind::FluidDynamics},
+        {"webbase-1M", 1000005, 1000005, 3105536,
+         MatrixKind::LocalGraph},
+        {"wiki-Talk", 2394385, 2394385, 5021410,
+         MatrixKind::DirectedGraph},
+    };
+    return specs;
+}
+
+const WorkloadSpec &
+findWorkload(const std::string &name)
+{
+    for (const auto *table : {&table3Uniform(), &table3PowerLaw(),
+                              &table4()}) {
+        auto it = std::find_if(table->begin(), table->end(),
+                               [&](const WorkloadSpec &spec) {
+                                   return spec.name == name;
+                               });
+        if (it != table->end())
+            return *it;
+    }
+    menda_fatal("unknown workload '", name, "'");
+}
+
+CsrMatrix
+makeWorkload(const WorkloadSpec &spec, std::uint64_t scale)
+{
+    if (scale == 0)
+        menda_fatal("makeWorkload: scale must be >= 1");
+
+    if (const char *dir = std::getenv("MENDA_MATRIX_DIR")) {
+        std::filesystem::path path =
+            std::filesystem::path(dir) / (spec.name + ".mtx");
+        if (std::filesystem::exists(path)) {
+            menda_inform("loading real matrix ", path.string());
+            return readMatrixMarketFile(path.string());
+        }
+    }
+
+    const Index rows = std::max<Index>(64, spec.rows / scale);
+    const Index cols = std::max<Index>(64, spec.cols / scale);
+    const std::uint64_t nnz = std::max<std::uint64_t>(256, spec.nnz / scale);
+    const std::uint64_t seed = specSeed(spec);
+
+    switch (spec.kind) {
+      case MatrixKind::Uniform:
+        return generateUniform(rows, cols, nnz, seed);
+      case MatrixKind::PowerLaw:
+      case MatrixKind::DirectedGraph: {
+        CsrMatrix a =
+            generateRmat(ceilPow2(rows), nnz, 0.1, 0.2, 0.3, seed);
+        return a;
+      }
+      case MatrixKind::LocalGraph: {
+        // Diameter of roughly 30 hops at any scale.
+        const Index reach = std::max<Index>(2, rows / 30);
+        return generateLocalGraph(rows, nnz, reach, seed);
+      }
+      case MatrixKind::Circuit:
+        return generateCircuit(rows, nnz, seed);
+      case MatrixKind::Structural: {
+        // Dense band sized to reach the target average row length.
+        const Index band = std::max<Index>(
+            4, static_cast<Index>(2.0 * nnz / rows));
+        return generateBanded(rows, band, 0.55, seed);
+      }
+      case MatrixKind::FluidDynamics: {
+        const Index band = std::max<Index>(
+            8, static_cast<Index>(8.0 * nnz / rows));
+        return generateBanded(rows, band, 0.14, seed);
+      }
+      case MatrixKind::Economic:
+        return generateSkewedRows(rows, cols, nnz, 0.7, seed);
+    }
+    menda_panic("unreachable matrix kind");
+}
+
+} // namespace menda::sparse

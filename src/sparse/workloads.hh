@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The paper's evaluation workloads.
+ *
+ * Tab. 3: synthetic uniform (N1-N8) and power-law (P1-P8) matrices.
+ * Tab. 4: fifteen SuiteSparse matrices. Real .mtx files can be loaded via
+ * mmio.hh; by default we generate deterministic stand-ins with the same
+ * dimension, NNZ, and kind-appropriate structure (DESIGN.md §3).
+ *
+ * Every maker accepts a scale divisor so benches can run quickly by
+ * default; scale=1 reproduces the paper's sizes.
+ */
+
+#ifndef MENDA_SPARSE_WORKLOADS_HH
+#define MENDA_SPARSE_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "sparse/format.hh"
+
+namespace menda::sparse
+{
+
+/** Structural family used to synthesize a stand-in. */
+enum class MatrixKind
+{
+    Uniform,       ///< uniformly sampled coordinates
+    PowerLaw,      ///< R-MAT (0.1, 0.2, 0.3)
+    DirectedGraph, ///< low-diameter social graphs (R-MAT stand-in)
+    LocalGraph,    ///< high-diameter web/co-purchase graphs
+    Circuit,       ///< circuit simulation (diagonal + rails + couplings)
+    Structural,    ///< FEM stiffness (dense band)
+    FluidDynamics, ///< CFD meshes (wide sparse band)
+    Economic,      ///< skewed random rows
+};
+
+/** One workload row out of Tab. 3 or Tab. 4. */
+struct WorkloadSpec
+{
+    std::string name;
+    Index rows;
+    Index cols;
+    std::uint64_t nnz;
+    MatrixKind kind;
+};
+
+/** Tab. 3 uniform matrices N1..N8. */
+const std::vector<WorkloadSpec> &table3Uniform();
+
+/** Tab. 3 power-law matrices P1..P8. */
+const std::vector<WorkloadSpec> &table3PowerLaw();
+
+/** Tab. 4 SuiteSparse matrices (stand-in specs). */
+const std::vector<WorkloadSpec> &table4();
+
+/** Look up a spec by name across all tables. menda_fatal if unknown. */
+const WorkloadSpec &findWorkload(const std::string &name);
+
+/**
+ * Materialize @p spec with dimensions and NNZ divided by @p scale.
+ * Deterministic for a given (spec, scale) pair. If the environment
+ * variable MENDA_MATRIX_DIR is set and contains "<name>.mtx", the real
+ * matrix is loaded instead (and scale is ignored).
+ */
+CsrMatrix makeWorkload(const WorkloadSpec &spec, std::uint64_t scale = 1);
+
+} // namespace menda::sparse
+
+#endif // MENDA_SPARSE_WORKLOADS_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Memory trace capture for the CPU-baseline characterization (Sec. 5.1).
+ *
+ * The paper builds its roofline and thread-scaling figures by collecting
+ * memory traces from mergeTrans and replaying them in Ramulator's CPU
+ * mode with custom barrier synchronization. We do the same: the baseline
+ * implementations are instrumented to record every data-array access per
+ * thread, with barrier markers where the parallel algorithm
+ * synchronizes; src/trace/replay.hh replays them through a cache
+ * hierarchy and the DRAM model.
+ */
+
+#ifndef MENDA_TRACE_RECORDER_HH
+#define MENDA_TRACE_RECORDER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace menda::trace
+{
+
+/**
+ * A packed trace event. Bit 0: write flag; bits 1..63: byte address.
+ * The all-ones pattern is a barrier marker.
+ */
+using Event = std::uint64_t;
+
+inline constexpr Event barrierEvent = ~Event(0);
+
+constexpr Event
+makeEvent(Addr addr, bool write)
+{
+    return (addr << 1) | (write ? 1 : 0);
+}
+
+constexpr Addr
+eventAddr(Event event)
+{
+    return event >> 1;
+}
+
+constexpr bool
+eventIsWrite(Event event)
+{
+    return (event & 1) != 0;
+}
+
+constexpr bool
+eventIsBarrier(Event event)
+{
+    return event == barrierEvent;
+}
+
+/**
+ * Collects one event stream per thread. Threads record concurrently into
+ * disjoint slots, so no locking is needed; barriers are recorded in every
+ * participating thread's stream.
+ */
+class TraceRecorder
+{
+  public:
+    explicit TraceRecorder(unsigned threads) : streams_(threads) {}
+
+    unsigned threads() const { return static_cast<unsigned>(streams_.size()); }
+
+    /** Record a data access from @p thread. */
+    void
+    access(unsigned thread, const void *ptr, bool write)
+    {
+        streams_[thread].push_back(
+            makeEvent(reinterpret_cast<Addr>(ptr), write));
+    }
+
+    /** Record that @p thread arrived at a barrier. */
+    void
+    barrier(unsigned thread)
+    {
+        streams_[thread].push_back(barrierEvent);
+    }
+
+    const std::vector<Event> &stream(unsigned thread) const
+    {
+        return streams_[thread];
+    }
+
+    std::uint64_t
+    totalAccesses() const
+    {
+        std::uint64_t count = 0;
+        for (const auto &stream : streams_)
+            for (Event event : stream)
+                count += !eventIsBarrier(event);
+        return count;
+    }
+
+  private:
+    std::vector<std::vector<Event>> streams_;
+};
+
+} // namespace menda::trace
+
+#endif // MENDA_TRACE_RECORDER_HH

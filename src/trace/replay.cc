@@ -1,0 +1,218 @@
+#include "trace/replay.hh"
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/log.hh"
+#include "dram/controller.hh"
+#include "sim/clock.hh"
+
+namespace menda::trace
+{
+
+namespace
+{
+
+struct ThreadState
+{
+    const std::vector<Event> *stream = nullptr;
+    std::size_t index = 0;
+    unsigned outstanding = 0;
+    Cycle stallUntil = 0;
+    bool atBarrier = false;
+    std::deque<Addr> pendingWrites; ///< writebacks awaiting queue space
+    std::deque<Addr> pendingReads;  ///< misses awaiting queue space
+
+    bool
+    doneIssuing() const
+    {
+        return index >= stream->size() && pendingWrites.empty() &&
+               pendingReads.empty();
+    }
+
+    bool
+    fullyDone() const
+    {
+        return doneIssuing() && outstanding == 0;
+    }
+};
+
+/** The CPU side: all threads, ticked at the CPU clock. */
+class CpuModel : public Ticked
+{
+  public:
+    CpuModel(const TraceRecorder &recorder, const ReplayConfig &config,
+             std::vector<std::unique_ptr<dram::MemoryController>> &chans)
+        : config_(config),
+          hierarchy_(config.cache, recorder.threads()),
+          channels_(chans),
+          threads_(recorder.threads())
+    {
+        for (unsigned t = 0; t < recorder.threads(); ++t)
+            threads_[t].stream = &recorder.stream(t);
+        for (auto &chan : channels_) {
+            chan->setResponseCallback([this](const mem::MemRequest &req) {
+                menda_assert(threads_[req.requester].outstanding > 0,
+                             "response without outstanding miss");
+                --threads_[req.requester].outstanding;
+            });
+        }
+    }
+
+    void
+    tick() override
+    {
+        ++cycle_;
+        maybeReleaseBarrier();
+        for (unsigned t = 0; t < threads_.size(); ++t)
+            step(t);
+    }
+
+    bool
+    done() const
+    {
+        for (const ThreadState &thread : threads_)
+            if (!thread.fullyDone())
+                return false;
+        return true;
+    }
+
+    Cycle cycles() const { return cycle_; }
+    const cache::Hierarchy &hierarchy() const { return hierarchy_; }
+
+  private:
+    dram::MemoryController &
+    channelOf(Addr addr)
+    {
+        return *channels_[(addr / blockBytes) % channels_.size()];
+    }
+
+    void
+    maybeReleaseBarrier()
+    {
+        // Release only when every thread has arrived (or fully retired
+        // its stream) and barrier-waiting threads have no miss in flight.
+        for (const ThreadState &thread : threads_) {
+            const bool arrived = thread.atBarrier ||
+                                 thread.index >= thread.stream->size();
+            if (!arrived)
+                return;
+            if (thread.atBarrier && thread.outstanding != 0)
+                return;
+        }
+        for (ThreadState &thread : threads_)
+            thread.atBarrier = false;
+    }
+
+    void
+    step(unsigned t)
+    {
+        ThreadState &thread = threads_[t];
+        if (thread.atBarrier || cycle_ < thread.stallUntil)
+            return;
+
+        // Retry stashed requests first (they already hold their MSHR /
+        // writeback buffer entry and must reach DRAM eventually).
+        if (!thread.pendingReads.empty()) {
+            mem::MemRequest req;
+            req.addr = thread.pendingReads.front();
+            req.requester = t;
+            if (channelOf(req.addr).enqueue(req))
+                thread.pendingReads.pop_front();
+            return;
+        }
+        if (!thread.pendingWrites.empty()) {
+            mem::MemRequest req;
+            req.addr = blockAlign(thread.pendingWrites.front());
+            req.isWrite = true;
+            req.requester = t;
+            if (channelOf(req.addr).enqueue(req))
+                thread.pendingWrites.pop_front();
+            return;
+        }
+        if (thread.index >= thread.stream->size())
+            return;
+
+        const Event event = (*thread.stream)[thread.index];
+        if (eventIsBarrier(event)) {
+            thread.atBarrier = true;
+            ++thread.index;
+            return;
+        }
+        if (thread.outstanding >= config_.mshrPerThread)
+            return; // MSHRs exhausted
+
+        const Addr addr = eventAddr(event);
+        const bool write = eventIsWrite(event);
+        auto outcome = hierarchy_.access(t, addr, write);
+        for (Addr wb : outcome.dramWrites)
+            thread.pendingWrites.push_back(wb);
+        if (outcome.dramRead) {
+            mem::MemRequest req;
+            req.addr = blockAlign(addr);
+            req.requester = t;
+            ++thread.outstanding;
+            if (!channelOf(req.addr).enqueue(req)) {
+                // Channel queue full: hold the miss in its MSHR and
+                // retry the enqueue on subsequent cycles.
+                thread.pendingReads.push_back(req.addr);
+            }
+        } else if (outcome.level > 1) {
+            // On-chip hits pipeline: a modern core overlaps L2/L3 hit
+            // latency with subsequent independent accesses, so charge
+            // only a fraction of it as issue stall.
+            thread.stallUntil = cycle_ + outcome.latency / 4;
+        }
+        ++thread.index;
+    }
+
+    const ReplayConfig &config_;
+    cache::Hierarchy hierarchy_;
+    std::vector<std::unique_ptr<dram::MemoryController>> &channels_;
+    std::vector<ThreadState> threads_;
+    Cycle cycle_ = 0;
+};
+
+} // namespace
+
+ReplayResult
+replayTrace(const TraceRecorder &recorder, const ReplayConfig &config)
+{
+    TickScheduler sched;
+    ClockDomain *cpu_clk = sched.addDomain("cpu", config.cpuFreqMhz);
+    ClockDomain *mem_clk = sched.addDomain("dram", config.dram.freqMhz);
+
+    std::vector<std::unique_ptr<dram::MemoryController>> channels;
+    for (unsigned c = 0; c < config.channels; ++c) {
+        channels.push_back(std::make_unique<dram::MemoryController>(
+            "chan" + std::to_string(c), config.dram, false));
+        mem_clk->attach(channels.back().get());
+    }
+
+    CpuModel cpu(recorder, config, channels);
+    cpu_clk->attach(&cpu);
+
+    sched.runUntil([&] {
+        if (!cpu.done())
+            return false;
+        for (const auto &chan : channels)
+            if (!chan->idle())
+                return false;
+        return true;
+    });
+
+    ReplayResult result;
+    result.seconds = sched.seconds();
+    result.cpuCycles = cpu.cycles();
+    for (const auto &chan : channels) {
+        result.dramReadBlocks += chan->readsServed();
+        result.dramWriteBlocks += chan->writesServed();
+    }
+    result.l1Hits = cpu.hierarchy().l1Hits();
+    result.l2Hits = cpu.hierarchy().l2Hits();
+    result.l3Hits = cpu.hierarchy().l3Hits();
+    return result;
+}
+
+} // namespace menda::trace

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Multi-threaded trace replay through the cache hierarchy and DRAM model
+ * — our stand-in for "Ramulator CPU mode with a custom implementation of
+ * barrier synchronization" (Sec. 5.1).
+ *
+ * Each recorded thread replays its event stream on a simple in-order
+ * core model: cache hits complete with their level's latency, misses
+ * allocate one of 16 MSHRs and overlap (hit-under-miss / miss-under-miss)
+ * until the MSHRs are exhausted, and barrier markers hold a thread until
+ * every thread has arrived with no outstanding misses. DRAM traffic is
+ * interleaved block-wise across four DDR4-2400 channels — the 76.8 GB/s
+ * theoretical peak of the baseline CPU (Sec. 2.2).
+ */
+
+#ifndef MENDA_TRACE_REPLAY_HH
+#define MENDA_TRACE_REPLAY_HH
+
+#include <cstdint>
+
+#include "cache/cache.hh"
+#include "dram/dram_config.hh"
+#include "trace/recorder.hh"
+
+namespace menda::trace
+{
+
+struct ReplayConfig
+{
+    std::uint64_t cpuFreqMhz = 3000;     ///< baseline CPU clock
+    unsigned mshrPerThread = 16;         ///< Tab. 1
+    unsigned channels = 4;               ///< quad-channel DDR4-2400
+    cache::Hierarchy::Config cache;      ///< Tab. 1 cache parameters
+    dram::DramConfig dram = dram::DramConfig::ddr4_2400r(2);
+
+    /** Theoretical peak DRAM bandwidth (bytes/sec). */
+    double
+    peakBandwidth() const
+    {
+        return dram.peakBandwidth() * channels;
+    }
+};
+
+struct ReplayResult
+{
+    double seconds = 0.0;
+    std::uint64_t cpuCycles = 0;
+    std::uint64_t dramReadBlocks = 0;
+    std::uint64_t dramWriteBlocks = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l3Hits = 0;
+
+    std::uint64_t
+    dramBytes() const
+    {
+        return (dramReadBlocks + dramWriteBlocks) * blockBytes;
+    }
+
+    /** Utilized memory bandwidth in bytes/sec (Fig. 3(b) metric). */
+    double
+    achievedBandwidth() const
+    {
+        return seconds > 0.0 ? static_cast<double>(dramBytes()) / seconds
+                             : 0.0;
+    }
+};
+
+/** Replay every recorded stream to completion and report timing. */
+ReplayResult replayTrace(const TraceRecorder &recorder,
+                         const ReplayConfig &config);
+
+} // namespace menda::trace
+
+#endif // MENDA_TRACE_REPLAY_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the CPU baselines (scanTrans, mergeTrans) and the analytical
+ * GPU/accelerator models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/accel_models.hh"
+#include "baselines/gpu_model.hh"
+#include "baselines/merge_trans.hh"
+#include "baselines/scan_trans.hh"
+#include "sparse/generate.hh"
+
+using namespace menda;
+using namespace menda::baselines;
+
+namespace
+{
+
+class TransposeBaselines
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+  public:
+    sparse::CsrMatrix
+    matrix() const
+    {
+        switch (std::get<1>(GetParam())) {
+          case 0: return sparse::generateUniform(500, 400, 4000, 101);
+          case 1: return sparse::generateRmat(1024, 9000, 0.1, 0.2, 0.3,
+                                              103);
+          case 2: return sparse::generateBanded(600, 11, 0.5, 107);
+          default: return sparse::generateUniform(64, 3000, 2500, 109);
+        }
+    }
+
+    unsigned threads() const { return std::get<0>(GetParam()); }
+};
+
+} // namespace
+
+TEST_P(TransposeBaselines, ScanTransMatchesReference)
+{
+    sparse::CsrMatrix a = matrix();
+    sparse::CscMatrix got = scanTrans(a, threads());
+    EXPECT_EQ(got, sparse::transposeReference(a));
+}
+
+TEST_P(TransposeBaselines, MergeTransMatchesReference)
+{
+    sparse::CsrMatrix a = matrix();
+    sparse::CscMatrix got = mergeTrans(a, threads());
+    EXPECT_EQ(got, sparse::transposeReference(a));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsByMatrix, TransposeBaselines,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 8u),
+                       ::testing::Values(0u, 1u, 2u, 3u)));
+
+TEST(ScanTrans, RecordsTracesWithBarriers)
+{
+    sparse::CsrMatrix a = sparse::generateUniform(200, 200, 2000, 113);
+    trace::TraceRecorder rec(4);
+    scanTrans(a, 4, &rec);
+    EXPECT_GT(rec.totalAccesses(), a.nnz())
+        << "phase 1 + 3 alone touch every non-zero";
+    for (unsigned t = 0; t < 4; ++t) {
+        unsigned barriers = 0;
+        for (trace::Event e : rec.stream(t))
+            barriers += trace::eventIsBarrier(e);
+        EXPECT_EQ(barriers, 5u) << "thread " << t;
+    }
+}
+
+TEST(MergeTrans, ReportsIntermediateTraffic)
+{
+    sparse::CsrMatrix a = sparse::generateUniform(512, 512, 8000, 127);
+    MergeTransStats stats;
+    mergeTrans(a, 4, nullptr, nullptr, &stats);
+    EXPECT_GT(stats.mergeRounds, 4u);
+    // Every merge round re-streams the triples: traffic is a multiple of
+    // the 12 B triple set (this is the cost MeNDA's wide tree avoids).
+    EXPECT_GT(stats.intermediateBytes, a.nnz() * 12 * 3);
+}
+
+TEST(MergeTrans, TimingIsPopulated)
+{
+    sparse::CsrMatrix a = sparse::generateUniform(256, 256, 4000, 131);
+    CpuRunResult timing;
+    mergeTrans(a, 2, nullptr, &timing);
+    EXPECT_GT(timing.seconds, 0.0);
+    EXPECT_EQ(timing.threads, 2u);
+}
+
+TEST(GpuModel, ScalesWithNnzAndFavorsDensity)
+{
+    sparse::CsrMatrix small = sparse::generateUniform(1024, 1024, 4096,
+                                                      137);
+    sparse::CsrMatrix large = sparse::generateUniform(1024, 1024, 65536,
+                                                      139);
+    auto rs = cusparseCsr2cscModel(small);
+    auto rl = cusparseCsr2cscModel(large);
+    EXPECT_GT(rl.seconds, rs.seconds);
+    // Throughput (NNZ/s) must be higher for the denser matrix.
+    EXPECT_GT(large.nnz() / rl.seconds, small.nnz() / rs.seconds);
+}
+
+TEST(GpuModel, SkewedMatricesArePenalized)
+{
+    sparse::CsrMatrix uniform = sparse::generateUniform(4096, 4096,
+                                                        40000, 149);
+    sparse::CsrMatrix skewed = sparse::generateRmat(4096, 40000, 0.1,
+                                                    0.2, 0.3, 151);
+    auto ru = cusparseCsr2cscModel(uniform);
+    auto rk = cusparseCsr2cscModel(skewed);
+    EXPECT_GT(rk.seconds, ru.seconds)
+        << "cuSPARSE is sensitive to matrix distribution (Sec. 6.1)";
+}
+
+TEST(AccelModels, PartialProductCountMatchesHandComputation)
+{
+    // 2x2 dense: every column has 2 NZs, every row has 2 NZs -> 8.
+    sparse::CooMatrix coo;
+    coo.rows = coo.cols = 2;
+    coo.row = {0, 0, 1, 1};
+    coo.col = {0, 1, 0, 1};
+    coo.val = {1, 1, 1, 1};
+    sparse::CsrMatrix a = sparse::cooToCsr(coo);
+    EXPECT_EQ(spmmPartialProducts(a), 8u);
+}
+
+TEST(AccelModels, SpArchBeatsOuterSpace)
+{
+    sparse::CsrMatrix a = sparse::generateRmat(2048, 20000, 0.1, 0.2,
+                                               0.3, 157);
+    EXPECT_LT(spArchSpmmSeconds(a), outerSpaceSpmmSeconds(a) / 5.0);
+}
+
+TEST(AccelModels, SadiEfficiencyConstants)
+{
+    SadiModelConfig sadi;
+    EXPECT_NEAR(sadi.gteps(), 0.049 * 512.0, 1e-9);
+    EXPECT_GT(sadi.gtepsPerWatt(), 0.0);
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the set-associative cache model and three-level hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+
+using namespace menda;
+using namespace menda::cache;
+
+TEST(Cache, HitsAfterFill)
+{
+    Cache c(32 * 1024, 8);
+    EXPECT_FALSE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1020, false).hit) << "same 64B block";
+    EXPECT_FALSE(c.access(0x1040, false).hit) << "next block";
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    // 8-way set: fill 8 ways of one set, touch way 0, insert a 9th line;
+    // the victim must be way 1 (least recently used).
+    Cache c(8 * 64, 8); // single set
+    for (Addr i = 0; i < 8; ++i)
+        c.access(i * 64, false);
+    EXPECT_TRUE(c.access(0, false).hit); // refresh line 0
+    c.access(8 * 64, false);             // evicts line 1
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(64));
+    EXPECT_TRUE(c.contains(2 * 64));
+}
+
+TEST(Cache, DirtyEvictionReportsWriteback)
+{
+    Cache c(8 * 64, 8);
+    for (Addr i = 0; i < 8; ++i)
+        c.access(i * 64, i == 3); // line 3 dirty
+    // Insert 8 more lines; line 3's eviction must report a writeback.
+    bool saw_writeback = false;
+    Addr evicted = 0;
+    for (Addr i = 8; i < 16; ++i) {
+        auto r = c.access(i * 64, false);
+        if (r.writeback) {
+            saw_writeback = true;
+            evicted = r.evictedAddr;
+        }
+    }
+    EXPECT_TRUE(saw_writeback);
+    EXPECT_EQ(evicted, 3u * 64);
+    EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Cache, ResetInvalidatesEverything)
+{
+    Cache c(32 * 1024, 8);
+    c.access(0x2000, true);
+    c.reset();
+    EXPECT_FALSE(c.contains(0x2000));
+}
+
+TEST(Cache, StreamReusesWithinWorkingSet)
+{
+    // A working set that fits must hit ~100% on the second pass; one
+    // that exceeds capacity with LRU streaming must keep missing.
+    Cache small(4 * 1024, 8); // 64 lines
+    for (int pass = 0; pass < 2; ++pass)
+        for (Addr a = 0; a < 32 * 64; a += 64)
+            small.access(a, false);
+    EXPECT_EQ(small.misses(), 32u);
+    EXPECT_EQ(small.hits(), 32u);
+
+    Cache tiny(1024, 8); // 16 lines, 2 sets
+    for (int pass = 0; pass < 2; ++pass)
+        for (Addr a = 0; a < 64 * 64; a += 64)
+            tiny.access(a, false);
+    EXPECT_EQ(tiny.hits(), 0u) << "LRU streaming over capacity thrashes";
+}
+
+TEST(Hierarchy, LevelsEscalate)
+{
+    Hierarchy::Config config;
+    Hierarchy h(config, 2);
+    auto first = h.access(0, 0x5000, false);
+    EXPECT_EQ(first.level, 4u);
+    EXPECT_TRUE(first.dramRead);
+    auto second = h.access(0, 0x5000, false);
+    EXPECT_EQ(second.level, 1u);
+    // A different thread misses its private L1/L2 but hits shared L3.
+    auto other = h.access(1, 0x5000, false);
+    EXPECT_EQ(other.level, 3u);
+    EXPECT_FALSE(other.dramRead);
+}
+
+TEST(Hierarchy, ClusterSharingBoundsL3)
+{
+    Hierarchy::Config config;
+    config.threadsPerCluster = 2;
+    Hierarchy h(config, 4);
+    h.access(0, 0x9000, false); // fills cluster 0's L3
+    EXPECT_EQ(h.access(1, 0x9000, false).level, 3u);
+    EXPECT_EQ(h.access(2, 0x9000, false).level, 4u)
+        << "different cluster has its own L3";
+}
+
+TEST(Hierarchy, DirtyDataWritesBackToDram)
+{
+    Hierarchy::Config config;
+    config.l1Bytes = 512;  // 8 lines
+    config.l2Bytes = 1024; // 16 lines
+    config.l3Bytes = 2048; // 32 lines
+    Hierarchy h(config, 1);
+    std::uint64_t writebacks = 0;
+    // Write a footprint far beyond L3 twice; dirty lines must surface.
+    for (int pass = 0; pass < 2; ++pass)
+        for (Addr a = 0; a < 256 * 64; a += 64)
+            writebacks += h.access(0, a, true).dramWrites.size();
+    EXPECT_GT(writebacks, 100u);
+}

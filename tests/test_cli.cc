@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Integration tests of the `menda_sim` command-line tool: every
+ * subcommand, JSON output, verification mode, .mtx input, and error
+ * handling — exercised through the real binary.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "sparse/generate.hh"
+#include "sparse/mmio.hh"
+
+namespace
+{
+
+struct CommandResult
+{
+    int exitCode = -1;
+    std::string output;
+};
+
+CommandResult
+runTool(const std::string &args)
+{
+    const std::string cmd =
+        std::string(MENDA_SIM_BIN) + " " + args + " 2>&1";
+    CommandResult result;
+    FILE *pipe = popen(cmd.c_str(), "r");
+    if (!pipe)
+        return result;
+    std::array<char, 512> buffer;
+    while (fgets(buffer.data(), buffer.size(), pipe))
+        result.output += buffer.data();
+    const int status = pclose(pipe);
+    result.exitCode = WEXITSTATUS(status);
+    return result;
+}
+
+} // namespace
+
+TEST(Cli, InspectWorkload)
+{
+    CommandResult r = runTool("inspect --workload=N3 --scale=64");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("matrix: 4096 x 4096"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("MeNDA iterations"), std::string::npos);
+}
+
+TEST(Cli, InspectJson)
+{
+    CommandResult r = runTool("inspect --workload=N3 --scale=64 --json");
+    EXPECT_EQ(r.exitCode, 0);
+    EXPECT_EQ(r.output.front(), '{');
+    EXPECT_NE(r.output.find("\"nnz\":"), std::string::npos);
+}
+
+TEST(Cli, TransposeWithVerification)
+{
+    CommandResult r = runTool(
+        "transpose --workload=N4 --scale=64 --leaves=16 --verify");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("verified against the golden reference"),
+              std::string::npos);
+    EXPECT_NE(r.output.find("throughput"), std::string::npos);
+}
+
+TEST(Cli, SpmvRuns)
+{
+    CommandResult r =
+        runTool("spmv --workload=N4 --scale=64 --leaves=16 --json");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("\"kernel\":\"spmv\""), std::string::npos);
+}
+
+TEST(Cli, SweepChannels)
+{
+    CommandResult r = runTool(
+        "sweep --workload=N4 --scale=64 --leaves=16 --param=channels");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    // Three sweep rows (1/2/4 channels).
+    EXPECT_NE(r.output.find("channels"), std::string::npos);
+    EXPECT_NE(r.output.find("\n1 "), std::string::npos);
+    EXPECT_NE(r.output.find("\n4 "), std::string::npos);
+}
+
+TEST(Cli, ReadsMatrixMarketFiles)
+{
+    const std::string path = "cli_test_matrix.mtx";
+    menda::sparse::writeMatrixMarketFile(
+        path, menda::sparse::generateUniform(100, 100, 500, 77));
+    CommandResult r =
+        runTool("transpose " + path + " --leaves=16 --verify");
+    std::remove(path.c_str());
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("verified"), std::string::npos);
+}
+
+TEST(Cli, UnknownSubcommandFails)
+{
+    CommandResult r = runTool("frobnicate");
+    EXPECT_EQ(r.exitCode, 2);
+    EXPECT_NE(r.output.find("unknown subcommand"), std::string::npos);
+}
+
+TEST(Cli, MissingFileFailsCleanly)
+{
+    CommandResult r = runTool("inspect /nonexistent/matrix.mtx");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("error:"), std::string::npos);
+}
+
+TEST(Cli, BadSweepParameterFailsCleanly)
+{
+    CommandResult r =
+        runTool("sweep --workload=N4 --scale=64 --param=bogus");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("unknown sweep parameter"),
+              std::string::npos);
+}

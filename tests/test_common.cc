@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for common utilities: block math, RNG determinism, stats
+ * registry, option parsing, and error macros.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/config.hh"
+#include "common/log.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+using namespace menda;
+
+TEST(Types, BlockAlignment)
+{
+    EXPECT_EQ(blockAlign(0), 0u);
+    EXPECT_EQ(blockAlign(63), 0u);
+    EXPECT_EQ(blockAlign(64), 64u);
+    EXPECT_EQ(blockAlign(130), 128u);
+    EXPECT_EQ(blockAlignUp(0), 0u);
+    EXPECT_EQ(blockAlignUp(1), 64u);
+    EXPECT_EQ(blockAlignUp(64), 64u);
+}
+
+TEST(Types, BlocksSpanned)
+{
+    EXPECT_EQ(blocksSpanned(0, 0), 0u);
+    EXPECT_EQ(blocksSpanned(0, 1), 1u);
+    EXPECT_EQ(blocksSpanned(0, 64), 1u);
+    EXPECT_EQ(blocksSpanned(0, 65), 2u);
+    EXPECT_EQ(blocksSpanned(60, 8), 2u); // straddles a boundary
+    EXPECT_EQ(blocksSpanned(64, 64), 1u);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        auto v = rng.below(17);
+        ASSERT_LT(v, 17u);
+    }
+}
+
+TEST(Rng, UniformCoversRange)
+{
+    Rng rng(99);
+    double min = 1.0, max = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        min = std::min(min, u);
+        max = std::max(max, u);
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+    EXPECT_LT(min, 0.01);
+    EXPECT_GT(max, 0.99);
+}
+
+TEST(Stats, CountersCollectHierarchically)
+{
+    Counter hits;
+    hits += 5;
+    ++hits;
+    Counter misses;
+
+    StatGroup child("cache");
+    child.add("hits", hits);
+    child.add("misses", misses);
+    StatGroup parent("cpu");
+    parent.addChild(child);
+
+    auto collected = parent.collect();
+    EXPECT_EQ(collected.at("cpu.cache.hits"), 6.0);
+    EXPECT_EQ(collected.at("cpu.cache.misses"), 0.0);
+}
+
+TEST(Stats, DumpContainsEveryStat)
+{
+    Counter c;
+    c += 42;
+    StatGroup g("g");
+    g.add("answer", c);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("g.answer 42"), std::string::npos);
+}
+
+TEST(Options, ParsesFlagsAndValues)
+{
+    const char *argv[] = {"prog", "--scale=4", "--verbose", "file.mtx"};
+    Options opts;
+    opts.parse(4, argv);
+    EXPECT_EQ(opts.getInt("scale", 1), 4);
+    EXPECT_TRUE(opts.has("verbose"));
+    EXPECT_EQ(opts.get("verbose"), "1");
+    EXPECT_EQ(opts.scale(8), 4u);
+    ASSERT_EQ(opts.positional().size(), 1u);
+    EXPECT_EQ(opts.positional().begin()->second, "file.mtx");
+}
+
+TEST(Options, RejectsMalformedNumbers)
+{
+    const char *argv[] = {"prog", "--scale=abc"};
+    Options opts;
+    opts.parse(2, argv);
+    EXPECT_THROW(opts.getInt("scale", 1), std::runtime_error);
+}
+
+TEST(Log, FatalThrows)
+{
+    EXPECT_THROW(menda_fatal("boom ", 42), std::runtime_error);
+    EXPECT_THROW(menda_panic("bug"), std::runtime_error);
+}
+
+TEST(Log, AssertPassesAndFails)
+{
+    menda_assert(1 + 1 == 2, "arithmetic works");
+    EXPECT_THROW(menda_assert(false, "nope"), std::runtime_error);
+}
+
+TEST(Stats, JsonDumpIsWellFormed)
+{
+    Counter c;
+    c += 7;
+    StatGroup g("unit");
+    g.add("events", c);
+    double scalar = 2.5;
+    g.add("ratio", &scalar);
+    std::ostringstream os;
+    g.dumpJson(os);
+    EXPECT_EQ(os.str(), "{\"unit.events\":7,\"unit.ratio\":2.5}");
+}

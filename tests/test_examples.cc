@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Smoke tests that run every example binary end-to-end (small inputs)
+ * and check both the exit status and the key output lines — the
+ * examples are part of the public API surface and must keep working.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace
+{
+
+struct CommandResult
+{
+    int exitCode = -1;
+    std::string output;
+};
+
+CommandResult
+runExample(const std::string &binary, const std::string &args)
+{
+    CommandResult result;
+    FILE *pipe = popen((binary + " " + args + " 2>&1").c_str(), "r");
+    if (!pipe)
+        return result;
+    std::array<char, 512> buffer;
+    while (fgets(buffer.data(), buffer.size(), pipe))
+        result.output += buffer.data();
+    result.exitCode = WEXITSTATUS(pclose(pipe));
+    return result;
+}
+
+} // namespace
+
+TEST(Examples, Quickstart)
+{
+    CommandResult r =
+        runExample(EXAMPLE_DIR "/quickstart", "--rows=1024 --nnz=8000");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("MATCHES the golden reference"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("rank 3:"), std::string::npos);
+}
+
+TEST(Examples, GraphAnalytics)
+{
+    CommandResult r = runExample(EXAMPLE_DIR "/graph_analytics",
+                                 "--vertices=1024 --edges=8192");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("SSSP from vertex"), std::string::npos);
+    EXPECT_NE(r.output.find("PageRank"), std::string::npos);
+    EXPECT_NE(r.output.find("cheaper"), std::string::npos);
+}
+
+TEST(Examples, SpmvDataflow)
+{
+    CommandResult r = runExample(EXAMPLE_DIR "/spmv_dataflow",
+                                 "--rows=1024 --nnz=8192 --iters=2");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("GTEPS"), std::string::npos);
+    EXPECT_NE(r.output.find("worst rel err"), std::string::npos);
+}
+
+TEST(Examples, LinearSolver)
+{
+    CommandResult r = runExample(EXAMPLE_DIR "/linear_solver",
+                                 "--n=512 --solver=bicg");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("converged"), std::string::npos);
+    EXPECT_NE(r.output.find("amortized"), std::string::npos);
+}
+
+TEST(Examples, LinearSolverQmr)
+{
+    CommandResult r = runExample(EXAMPLE_DIR "/linear_solver",
+                                 "--n=512 --solver=qmr");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("converged"), std::string::npos);
+}
+
+TEST(Examples, SlamInformationMatrix)
+{
+    CommandResult r = runExample(EXAMPLE_DIR "/slam_information_matrix",
+                                 "--poses=400 --steps=2");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("information nnz"), std::string::npos);
+    EXPECT_NE(r.output.find("critical path"), std::string::npos);
+}
+
+TEST(Examples, TransposeExplorer)
+{
+    CommandResult r = runExample(EXAMPLE_DIR "/transpose_explorer",
+                                 "--workload=N4 --scale=64");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("every configuration validated"),
+              std::string::npos)
+        << r.output;
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the heterogeneous programming model (Sec. 4): allocation,
+ * non-blocking launch, wait, MMIO register protocol, and per-rank
+ * partition views.
+ */
+
+#include <gtest/gtest.h>
+
+#include "menda/host_api.hh"
+#include "sparse/generate.hh"
+
+using namespace menda;
+
+namespace
+{
+
+core::SystemConfig
+apiConfig()
+{
+    core::SystemConfig config;
+    config.channels = 1;
+    config.dimmsPerChannel = 2;
+    config.ranksPerDimm = 2;
+    config.pu.leaves = 16;
+    return config;
+}
+
+} // namespace
+
+TEST(HostApi, TransposeFollowsTheFig8Protocol)
+{
+    sparse::CsrMatrix a = sparse::generateRmat(512, 4000, 0.1, 0.2, 0.3,
+                                               71);
+    nmp::Context ctx(apiConfig());
+    EXPECT_EQ(ctx.ranks(), 4u);
+
+    nmp::MatrixHandle g = ctx.allocSparseMatrix(a);
+    EXPECT_EQ(g.slices().size(), 4u);
+    EXPECT_FALSE(ctx.mmio(0).start);
+
+    ctx.transpose(g);            // non-blocking launch
+    EXPECT_TRUE(ctx.mmio(0).start);
+    EXPECT_FALSE(ctx.finished());
+
+    ctx.wait();                  // blocks until finish signals set
+    EXPECT_TRUE(ctx.finished());
+    for (unsigned r = 0; r < ctx.ranks(); ++r)
+        EXPECT_TRUE(ctx.mmio(r).finish);
+
+    EXPECT_EQ(ctx.result(g).ptr, sparse::transposeReference(a).ptr);
+}
+
+TEST(HostApi, GetAddrExposesPartitionedCsc)
+{
+    sparse::CsrMatrix a = sparse::generateUniform(256, 256, 3000, 73);
+    nmp::Context ctx(apiConfig());
+    nmp::MatrixHandle g = ctx.allocSparseMatrix(a);
+    ctx.transpose(g);
+    ctx.wait();
+
+    std::uint64_t nnz = 0;
+    for (unsigned r = 0; r < ctx.ranks(); ++r) {
+        nmp::PartitionView view = ctx.getAddr(g, r);
+        ASSERT_NE(view.csc, nullptr);
+        view.csc->validate();
+        nnz += view.csc->nnz();
+        EXPECT_EQ(view.rowBegin, g.slices()[r].rowBegin);
+        // Output addresses published through MMIO registers.
+        EXPECT_GT(view.idxAddr, 0u);
+    }
+    EXPECT_EQ(nnz, a.nnz());
+}
+
+TEST(HostApi, GetAddrBeforeTransposeIsAnError)
+{
+    sparse::CsrMatrix a = sparse::generateUniform(64, 64, 500, 75);
+    nmp::Context ctx(apiConfig());
+    nmp::MatrixHandle g = ctx.allocSparseMatrix(a);
+    EXPECT_THROW(ctx.getAddr(g, 0), std::runtime_error);
+}
+
+TEST(HostApi, SpmvOffloadProducesReferenceResult)
+{
+    sparse::CsrMatrix a = sparse::generateUniform(300, 300, 4000, 77);
+    std::vector<Value> x(a.cols, 0.5f);
+    nmp::Context ctx(apiConfig());
+    nmp::MatrixHandle g = ctx.allocSparseMatrix(a);
+    ctx.spmv(g, x);
+    ctx.wait();
+    auto want = sparse::spmvReference(a, x);
+    ASSERT_EQ(ctx.vectorResult().size(), want.size());
+    for (std::size_t r = 0; r < want.size(); ++r)
+        EXPECT_NEAR(ctx.vectorResult()[r], want[r],
+                    1e-3 * (std::abs(want[r]) + 1.0));
+}
+
+TEST(HostApi, AllocationColorsPagesPerRank)
+{
+    sparse::CsrMatrix a = sparse::generateUniform(2048, 2048, 30000, 79);
+    nmp::Context ctx(apiConfig());
+    nmp::MatrixHandle g = ctx.allocSparseMatrix(a);
+    for (unsigned r = 0; r < ctx.ranks(); ++r)
+        EXPECT_GT(g.pageTable().pagesOfColor(r), 0u);
+    EXPECT_LE(g.pageTable().duplicatedBytes, pageBytes * ctx.ranks());
+}
+
+TEST(HostApi, RunStatsArePopulated)
+{
+    sparse::CsrMatrix a = sparse::generateUniform(256, 256, 4000, 81);
+    nmp::Context ctx(apiConfig());
+    nmp::MatrixHandle g = ctx.allocSparseMatrix(a);
+    ctx.transpose(g);
+    ctx.wait();
+    EXPECT_GT(ctx.lastRun().seconds, 0.0);
+    EXPECT_GT(ctx.lastRun().readBlocks, 0u);
+    EXPECT_GT(ctx.lastRun().writeBlocks, 0u);
+}
+
+TEST(HostApi, DoubleLaunchWithoutWaitIsAnError)
+{
+    sparse::CsrMatrix a = sparse::generateUniform(64, 64, 400, 83);
+    nmp::Context ctx(apiConfig());
+    nmp::MatrixHandle g = ctx.allocSparseMatrix(a);
+    ctx.transpose(g);
+    EXPECT_THROW(ctx.transpose(g), std::runtime_error)
+        << "an offload is already in flight";
+    ctx.wait();
+    // After wait() a new offload is fine.
+    ctx.transpose(g);
+    ctx.wait();
+    EXPECT_TRUE(ctx.finished());
+}
+
+TEST(HostApi, WaitWithoutLaunchIsANoOp)
+{
+    nmp::Context ctx(apiConfig());
+    ctx.wait();
+    EXPECT_TRUE(ctx.finished());
+}
+
+TEST(HostApi, MmioAddressesAreDistinctPerRegion)
+{
+    sparse::CsrMatrix a = sparse::generateUniform(256, 256, 2000, 87);
+    nmp::Context ctx(apiConfig());
+    nmp::MatrixHandle g = ctx.allocSparseMatrix(a);
+    const nmp::MmioRegisters &regs = ctx.mmio(0);
+    EXPECT_NE(regs.rowPtrAddr, regs.colIdxAddr);
+    EXPECT_NE(regs.colIdxAddr, regs.valueAddr);
+    EXPECT_EQ(regs.rowBegin, 0u);
+    ctx.transpose(g);
+    ctx.wait();
+    EXPECT_NE(ctx.mmio(0).outPtrAddr, ctx.mmio(0).outIdxAddr);
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the per-PU memory layout: region disjointness (including
+ * the bank-staggered bases), page alignment, sizing for both dataflow
+ * modes, and address helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "menda/memory_map.hh"
+
+using namespace menda;
+using namespace menda::core;
+
+namespace
+{
+
+const std::vector<Region> allRegions = {
+    Region::RowPtr, Region::ColIdx, Region::NzVal,
+    Region::CooRowA, Region::CooColA, Region::CooValA,
+    Region::CooRowB, Region::CooColB, Region::CooValB,
+    Region::OutPtr, Region::OutIdx, Region::OutVal,
+    Region::VecIn, Region::AuxPtr,
+};
+
+/** Entry count each region must at least hold for (rows, cols, nnz). */
+std::uint64_t
+entriesOf(Region region, std::uint64_t rows, std::uint64_t cols,
+          std::uint64_t nnz)
+{
+    switch (region) {
+      case Region::RowPtr: return rows + 1;
+      case Region::OutPtr: return cols + 1;
+      case Region::VecIn: return cols;
+      case Region::AuxPtr: return (cols + 16) / 16;
+      default: return nnz;
+    }
+}
+
+} // namespace
+
+TEST(PuMemoryMap, RegionsAreDisjointAndOrdered)
+{
+    const std::uint64_t rows = 1000, cols = 3000, nnz = 12345;
+    PuMemoryMap map(0, rows, cols, nnz);
+    // Collect [start, end) of every region and check pairwise overlap.
+    std::vector<std::pair<Addr, Addr>> spans;
+    for (Region region : allRegions) {
+        const Addr start = map.base(region);
+        const Addr end =
+            map.addrOf(region, entriesOf(region, rows, cols, nnz));
+        spans.emplace_back(start, end);
+    }
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        for (std::size_t j = i + 1; j < spans.size(); ++j) {
+            const bool disjoint = spans[i].second <= spans[j].first ||
+                                  spans[j].second <= spans[i].first;
+            EXPECT_TRUE(disjoint)
+                << "regions " << i << " and " << j << " overlap";
+        }
+    }
+    EXPECT_GT(map.end(), 0u);
+}
+
+TEST(PuMemoryMap, RegionsArePageAligned)
+{
+    PuMemoryMap map(0, 777, 555, 9999);
+    for (Region region : allRegions)
+        EXPECT_EQ(map.base(region) % pageBytes, 0u)
+            << "page coloring needs page-aligned regions";
+}
+
+TEST(PuMemoryMap, BasesAreBankStaggered)
+{
+    // The COO row/col/val triples must not all start in the same bank
+    // (bank bits live at 32 KiB granularity in the rank layout).
+    PuMemoryMap map(0, 4096, 4096, 100000);
+    auto bank_of = [](Addr addr) { return (addr >> 15) & 3; };
+    const unsigned row_bank = bank_of(map.base(Region::CooRowA));
+    const unsigned col_bank = bank_of(map.base(Region::CooColA));
+    const unsigned val_bank = bank_of(map.base(Region::CooValA));
+    EXPECT_FALSE(row_bank == col_bank && col_bank == val_bank)
+        << "COO arrays should spread across banks (Sec. 3.1)";
+}
+
+TEST(PuMemoryMap, AddrHelpersAreConsistent)
+{
+    PuMemoryMap map(0, 100, 100, 1000);
+    const Addr base = map.base(Region::ColIdx);
+    EXPECT_EQ(map.addrOf(Region::ColIdx, 0), base);
+    EXPECT_EQ(map.addrOf(Region::ColIdx, 7), base + 28);
+    EXPECT_EQ(map.blockOf(Region::ColIdx, 15), base);
+    EXPECT_EQ(map.blockOf(Region::ColIdx, 16), base + 64);
+}
+
+TEST(PuMemoryMap, CooSelectorsPingPong)
+{
+    PuMemoryMap map(0, 10, 10, 10);
+    EXPECT_EQ(map.cooRow(0), Region::CooRowA);
+    EXPECT_EQ(map.cooRow(1), Region::CooRowB);
+    EXPECT_NE(map.base(map.cooVal(0)), map.base(map.cooVal(1)));
+}
+
+TEST(PuMemoryMap, TinySlicesStillLayOut)
+{
+    PuMemoryMap map(0, 0, 1, 0);
+    EXPECT_GT(map.end(), 0u);
+    PuMemoryMap one(0, 1, 1, 1);
+    EXPECT_GT(one.base(Region::OutVal), one.base(Region::RowPtr));
+}

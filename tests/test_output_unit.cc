@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the output unit: block assembly, pointer-array
+ * synthesis, round-bound recording, back-pressure, and the four output
+ * modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "menda/output_unit.hh"
+
+using namespace menda;
+using namespace menda::core;
+
+namespace
+{
+
+struct Fixture
+{
+    PuConfig config;
+    PuMemoryMap map;
+    OutputUnit unit;
+
+    Fixture() : map(0, 256, 256, 4096), unit(config, &map) {}
+
+    /** Drain all pending stores, counting them. */
+    std::uint64_t
+    drain()
+    {
+        std::uint64_t count = 0;
+        while (unit.hasPendingStore()) {
+            unit.storeIssued();
+            ++count;
+        }
+        return count;
+    }
+};
+
+} // namespace
+
+TEST(OutputUnit, CooIntermediateEmitsThreeArrays)
+{
+    Fixture f;
+    // 32 elements = 2 full blocks per array; 3 arrays -> 6 stores.
+    f.unit.beginIteration(OutputMode::CooIntermediate, 0, 1, 256);
+    for (unsigned i = 0; i < 32; ++i) {
+        ASSERT_TRUE(f.unit.canAccept());
+        f.unit.accept(Packet::data(i, i, 1.0f, i == 31));
+        f.drain();
+    }
+    EXPECT_TRUE(f.unit.iterationDone());
+    EXPECT_EQ(f.unit.storesQueued(), 6u);
+    EXPECT_EQ(f.unit.merged().size(), 32u);
+    ASSERT_EQ(f.unit.roundBounds().size(), 1u);
+    EXPECT_EQ(f.unit.roundBounds()[0].first, 0u);
+    EXPECT_EQ(f.unit.roundBounds()[0].second, 32u);
+}
+
+TEST(OutputUnit, CooPartialBlocksFlushAtIterationEnd)
+{
+    Fixture f;
+    f.unit.beginIteration(OutputMode::CooIntermediate, 1, 1, 256);
+    for (unsigned i = 0; i < 5; ++i) {
+        f.unit.accept(Packet::data(i, i, 1.0f, i == 4));
+        f.drain();
+    }
+    // 5 elements < 1 block: the trailing partial block of each of the
+    // three arrays must still be written.
+    EXPECT_TRUE(f.unit.iterationDone());
+    EXPECT_EQ(f.unit.storesQueued(), 3u);
+}
+
+TEST(OutputUnit, CscFinalWritesThePointerArray)
+{
+    Fixture f;
+    // One element in column 10, then end-of-line: pointer entries 0..256
+    // (257 entries = 17 blocks) + 1 idx + 1 val partial block.
+    f.unit.beginIteration(OutputMode::CscFinal, 0, 1, 256);
+    f.unit.accept(Packet::data(3, 10, 2.0f, true));
+    std::uint64_t stores = f.drain();
+    while (f.unit.hasPendingStore())
+        stores += f.drain();
+    EXPECT_TRUE(f.unit.iterationDone());
+    EXPECT_EQ(stores, 17u + 2u);
+}
+
+TEST(OutputUnit, RoundBoundsTrackEveryEol)
+{
+    Fixture f;
+    f.unit.beginIteration(OutputMode::CooIntermediate, 0, 3, 256);
+    // Round 0: 2 elements; round 1: empty; round 2: 1 element.
+    f.unit.accept(Packet::data(0, 1, 1.0f, false));
+    f.drain();
+    f.unit.accept(Packet::data(0, 2, 1.0f, true));
+    f.drain();
+    f.unit.accept(Packet::endOfLine());
+    f.drain();
+    f.unit.accept(Packet::data(1, 5, 1.0f, true));
+    f.drain();
+    ASSERT_TRUE(f.unit.iterationDone());
+    const auto &bounds = f.unit.roundBounds();
+    ASSERT_EQ(bounds.size(), 3u);
+    EXPECT_EQ(bounds[0], (std::pair<std::uint64_t, std::uint64_t>{0, 2}));
+    EXPECT_EQ(bounds[1], (std::pair<std::uint64_t, std::uint64_t>{2, 2}));
+    EXPECT_EQ(bounds[2], (std::pair<std::uint64_t, std::uint64_t>{2, 3}));
+}
+
+TEST(OutputUnit, BackPressureWhenStoresPileUp)
+{
+    Fixture f;
+    f.unit.beginIteration(OutputMode::CooIntermediate, 0, 1, 256);
+    // Never drain: 16-element block boundaries accumulate stores until
+    // canAccept goes false.
+    unsigned accepted = 0;
+    while (f.unit.canAccept() && accepted < 10000) {
+        f.unit.accept(Packet::data(accepted, accepted, 1.0f, false));
+        ++accepted;
+    }
+    EXPECT_LT(accepted, 10000u);
+    EXPECT_FALSE(f.unit.canAccept());
+    f.drain();
+    EXPECT_TRUE(f.unit.canAccept());
+}
+
+TEST(OutputUnit, ZeroRoundIterationStillWritesPointers)
+{
+    Fixture f;
+    // A slice with no streams at all: CscFinal must still produce the
+    // all-zero pointer array (257 entries -> 17 blocks).
+    f.unit.beginIteration(OutputMode::CscFinal, 0, 0, 256);
+    EXPECT_TRUE(f.unit.hasPendingStore());
+    EXPECT_EQ(f.drain(), 17u);
+    EXPECT_TRUE(f.unit.iterationDone());
+}
+
+TEST(OutputUnit, DenseFinalWritesOnlyTouchedBlocks)
+{
+    Fixture f;
+    f.unit.beginIteration(OutputMode::DenseFinal, 0, 1, 256);
+    // Rows 0 and 1 share a block; row 100 is in another block.
+    f.unit.accept(Packet::data(0, 0, 1.0f, false));
+    f.unit.accept(Packet::data(1, 0, 1.0f, false));
+    f.unit.accept(Packet::data(100, 0, 1.0f, true));
+    f.drain();
+    EXPECT_TRUE(f.unit.iterationDone());
+    EXPECT_EQ(f.unit.storesQueued(), 2u);
+}
+
+TEST(OutputUnit, PairIntermediateEmitsTwoArrays)
+{
+    Fixture f;
+    f.unit.beginIteration(OutputMode::PairIntermediate, 0, 1, 256);
+    for (unsigned i = 0; i < 16; ++i)
+        f.unit.accept(Packet::data(i, 0, 1.0f, i == 15));
+    f.drain();
+    EXPECT_TRUE(f.unit.iterationDone());
+    EXPECT_EQ(f.unit.storesQueued(), 2u); // one full block x 2 arrays
+}

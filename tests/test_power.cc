@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Tests for the area/power/EDP models (Sec. 6.2, Fig. 15 axes).
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/power_model.hh"
+
+using namespace menda;
+using namespace menda::power;
+
+TEST(PuPower, AnchorsToSynthesisNumbers)
+{
+    PuPowerModel model;
+    core::PuConfig nominal; // 1024 leaves, 800 MHz, 32-entry buffers
+    EXPECT_NEAR(model.puWatts(nominal), 0.0786, 1e-9);
+    EXPECT_NEAR(model.puAreaMm2(nominal), 7.1, 1e-9);
+    EXPECT_NEAR(model.puWatts(nominal, true), 0.0786 + 0.0138, 1e-9);
+}
+
+TEST(PuPower, ScalesWithFrequency)
+{
+    PuPowerModel model;
+    core::PuConfig slow, fast;
+    slow.freqMhz = 400;
+    fast.freqMhz = 1200;
+    const double p400 = model.puWatts(slow);
+    const double p800 = model.puWatts(core::PuConfig{});
+    const double p1200 = model.puWatts(fast);
+    EXPECT_LT(p400, p800);
+    EXPECT_LT(p800, p1200);
+    // Leakage floor: halving frequency does not halve power.
+    EXPECT_GT(p400, p800 / 2.0);
+}
+
+TEST(PuPower, ScalesWithLeafCount)
+{
+    PuPowerModel model;
+    core::PuConfig small;
+    small.leaves = 64;
+    const double p64 = model.puWatts(small);
+    const double p1024 = model.puWatts(core::PuConfig{});
+    EXPECT_LT(p64, p1024);
+    // Control power is fixed: 16x fewer leaves is far from 16x less
+    // power (Sec. 6.7: smaller trees don't pay off).
+    EXPECT_GT(p64, p1024 / 16.0);
+    EXPECT_LT(model.puAreaMm2(small), model.puAreaMm2(core::PuConfig{}));
+}
+
+TEST(DramPower, EnergyAccumulates)
+{
+    DramPowerModel model;
+    const double idle = model.energyJ(0, 0, 1.0);
+    EXPECT_NEAR(idle, 0.075, 1e-12);
+    const double busy = model.energyJ(1000, 100000, 1.0);
+    EXPECT_GT(busy, idle);
+}
+
+TEST(Edp, CombinesEnergyAndDelay)
+{
+    EXPECT_NEAR(edp(2.0, 3.0), 6.0, 1e-12);
+    // Fig. 15 logic: running faster at higher power can still win EDP.
+    const double slow = edp(0.1 * 2.0, 2.0);  // 0.1 W for 2 s
+    const double fast = edp(0.15 * 1.2, 1.2); // 0.15 W for 1.2 s
+    EXPECT_LT(fast, slow);
+}

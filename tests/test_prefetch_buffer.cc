@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unit tests for the prefetch buffer: chunking, the one-outstanding-
+ * request rule, stall-reducing vs baseline refill policies, empty-stream
+ * tokens, and cross-stream prefetch.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "menda/prefetch_buffer.hh"
+
+using namespace menda;
+using namespace menda::core;
+
+namespace
+{
+
+struct Fixture
+{
+    PuConfig config;
+    PuMemoryMap map;
+    std::vector<Value> values;
+    std::unique_ptr<PrefetchBuffer> buffer;
+
+    explicit Fixture(bool prefetch = true, unsigned entries = 32)
+        : map(0, 1024, 1024, 65536)
+    {
+        config.stallReducingPrefetch = prefetch;
+        config.prefetchBufferEntries = entries;
+        buffer = std::make_unique<PrefetchBuffer>(
+            0, config, &map,
+            [](const StreamDesc &desc, std::uint64_t element) {
+                return Packet::data(desc.fixedIndex,
+                                    static_cast<Index>(element), 1.0f,
+                                    element + 1 == desc.end);
+            });
+    }
+
+    /** Serve every outstanding block of the current chunk. */
+    void
+    serveChunk()
+    {
+        std::vector<Addr> blocks;
+        while (buffer->pendingBlock() != 0) {
+            blocks.push_back(buffer->pendingBlock());
+            buffer->issuedBlock();
+        }
+        for (Addr addr : blocks)
+            buffer->fillFromResponse(addr);
+    }
+
+    StreamDesc
+    csrStream(std::uint64_t begin, std::uint64_t end, Index row)
+    {
+        StreamDesc desc;
+        desc.source = StreamSource::CsrRow;
+        desc.begin = begin;
+        desc.end = end;
+        desc.fixedIndex = row;
+        return desc;
+    }
+};
+
+} // namespace
+
+TEST(PrefetchBuffer, ChunkNeedsIndexAndValueBlocks)
+{
+    Fixture f;
+    f.buffer->assign(f.csrStream(0, 8, 5));
+    // 8 elements in one span: 1 ColIdx block + 1 NzVal block.
+    Addr first = f.buffer->pendingBlock();
+    ASSERT_NE(first, 0u);
+    f.buffer->issuedBlock();
+    Addr second = f.buffer->pendingBlock();
+    ASSERT_NE(second, 0u);
+    EXPECT_NE(first, second);
+    f.buffer->issuedBlock();
+    EXPECT_EQ(f.buffer->pendingBlock(), 0u) << "one outstanding chunk";
+
+    // No packets until *both* blocks arrive.
+    f.buffer->fillFromResponse(first);
+    EXPECT_FALSE(f.buffer->hasPacket());
+    f.buffer->fillFromResponse(second);
+    ASSERT_TRUE(f.buffer->hasPacket());
+}
+
+TEST(PrefetchBuffer, DeliversStreamInOrderWithEol)
+{
+    Fixture f;
+    f.buffer->assign(f.csrStream(0, 10, 7));
+    f.serveChunk();
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        ASSERT_TRUE(f.buffer->hasPacket());
+        Packet p = f.buffer->popPacket();
+        EXPECT_TRUE(p.valid);
+        EXPECT_EQ(p.row, 7u);
+        EXPECT_EQ(p.col, i);
+        EXPECT_EQ(p.eol, i == 9);
+    }
+    EXPECT_FALSE(f.buffer->hasPacket());
+    EXPECT_TRUE(f.buffer->idle());
+}
+
+TEST(PrefetchBuffer, EmptyStreamYieldsPureEolWithoutFetch)
+{
+    Fixture f;
+    f.buffer->assign(f.csrStream(0, 0, 3));
+    EXPECT_EQ(f.buffer->pendingBlock(), 0u);
+    ASSERT_TRUE(f.buffer->hasPacket());
+    Packet p = f.buffer->popPacket();
+    EXPECT_FALSE(p.valid);
+    EXPECT_TRUE(p.eol);
+}
+
+TEST(PrefetchBuffer, BaselineRequestsOnlyWhenEmpty)
+{
+    Fixture f(/*prefetch=*/false);
+    f.buffer->assign(f.csrStream(0, 64, 1)); // 4 spans of 16
+    f.serveChunk(); // one span arrives
+    // No further request launches while any data remains.
+    EXPECT_EQ(f.buffer->pendingBlock(), 0u)
+        << "baseline must not top up a non-empty buffer";
+    for (int i = 0; i < 15; ++i)
+        f.buffer->popPacket();
+    EXPECT_EQ(f.buffer->pendingBlock(), 0u);
+    f.buffer->popPacket(); // drained
+    EXPECT_NE(f.buffer->pendingBlock(), 0u)
+        << "drained buffer must refill";
+}
+
+TEST(PrefetchBuffer, StallReducingPrefetchTopsUpEarly)
+{
+    Fixture f(/*prefetch=*/true);
+    f.buffer->assign(f.csrStream(0, 64, 1));
+    f.serveChunk();
+    f.serveChunk(); // two spans buffered: 32 of 32 entries used
+    EXPECT_EQ(f.buffer->pendingBlock(), 0u) << "buffer full";
+    // Popping one whole span (16) frees enough space for the next span
+    // to be requested immediately — well before the buffer drains.
+    for (int i = 0; i < 16; ++i)
+        f.buffer->popPacket();
+    EXPECT_NE(f.buffer->pendingBlock(), 0u)
+        << "prefetch must start before the buffer drains";
+}
+
+TEST(PrefetchBuffer, PrefetchesAcrossStreamBoundaries)
+{
+    Fixture f(/*prefetch=*/true);
+    f.buffer->assign(f.csrStream(0, 4, 1));
+    EXPECT_TRUE(f.buffer->wantsAssignment());
+    f.buffer->assign(f.csrStream(100, 104, 2));
+    f.serveChunk(); // stream 1 data
+    f.serveChunk(); // stream 2 data, prefetched behind stream 1
+    std::vector<Index> rows;
+    while (f.buffer->hasPacket())
+        rows.push_back(f.buffer->popPacket().row);
+    EXPECT_EQ(rows, (std::vector<Index>{1, 1, 1, 1, 2, 2, 2, 2}));
+}
+
+TEST(PrefetchBuffer, CooStreamsNeedThreeBlocksPerSpan)
+{
+    Fixture f;
+    StreamDesc desc;
+    desc.source = StreamSource::Coo;
+    desc.begin = 0;
+    desc.end = 8;
+    desc.cooBuffer = 1;
+    f.buffer->assign(desc);
+    unsigned blocks = 0;
+    while (f.buffer->pendingBlock() != 0) {
+        f.buffer->issuedBlock();
+        ++blocks;
+    }
+    EXPECT_EQ(blocks, 3u);
+}
+
+TEST(PrefetchBuffer, ResponsesForUnknownBlocksAreIgnored)
+{
+    Fixture f;
+    f.buffer->assign(f.csrStream(0, 8, 5));
+    EXPECT_FALSE(f.buffer->fillFromResponse(0xdead000));
+    f.buffer->issuedBlock();
+    EXPECT_FALSE(f.buffer->fillFromResponse(0xdead000));
+}
+
+TEST(PrefetchBuffer, CapacityIsRespected)
+{
+    Fixture f(/*prefetch=*/true, /*entries=*/16);
+    f.buffer->assign(f.csrStream(0, 1000, 1));
+    f.serveChunk();
+    // At most 16 elements buffered or in flight at any point.
+    unsigned buffered = 0;
+    while (f.buffer->hasPacket()) {
+        f.buffer->popPacket();
+        ++buffered;
+    }
+    EXPECT_LE(buffered, 16u);
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Randomized property test: for random matrices and random PU
+ * configurations (tree size, FIFO depth, buffer size, optimizations,
+ * system size), simulated transposition must always equal the golden
+ * reference and SpMV must match the reference within FP tolerance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "menda/system.hh"
+#include "sparse/generate.hh"
+
+using namespace menda;
+using namespace menda::core;
+
+namespace
+{
+
+sparse::CsrMatrix
+randomMatrix(Rng &rng)
+{
+    const Index rows = 16 + static_cast<Index>(rng.below(600));
+    const Index cols = 16 + static_cast<Index>(rng.below(600));
+    const std::uint64_t cap =
+        static_cast<std::uint64_t>(rows) * cols / 2;
+    const std::uint64_t nnz =
+        1 + rng.below(std::min<std::uint64_t>(cap, 6000));
+    switch (rng.below(3)) {
+      case 0: return sparse::generateUniform(rows, cols, nnz, rng.next());
+      case 1: {
+        Index pow2 = 16;
+        while (pow2 < rows)
+            pow2 <<= 1;
+        // R-MAT's skew concentrates edges; keep density low enough
+        // that distinct-edge sampling terminates.
+        const std::uint64_t rmat_nnz = std::min<std::uint64_t>(
+            nnz, static_cast<std::uint64_t>(pow2) * pow2 / 32);
+        return sparse::generateRmat(pow2, std::max<std::uint64_t>(
+                                              1, rmat_nnz),
+                                    0.1, 0.2, 0.3, rng.next());
+      }
+      default:
+        return sparse::generateBanded(rows, 5 + rng.below(10) * 2, 0.5,
+                                      rng.next());
+    }
+}
+
+SystemConfig
+randomConfig(Rng &rng)
+{
+    SystemConfig config;
+    config.channels = 1;
+    config.dimmsPerChannel = 1;
+    config.ranksPerDimm = 1u << rng.below(3); // 1/2/4 PUs
+    config.pu.leaves = 4u << rng.below(5);    // 4..64
+    config.pu.fifoEntries = 2 + rng.below(3);
+    config.pu.prefetchBufferEntries = 16u << rng.below(3);
+    config.pu.stallReducingPrefetch = rng.below(2) == 0;
+    config.pu.requestCoalescing = rng.below(2) == 0;
+    config.pu.freqMhz = 400 + rng.below(3) * 400;
+    return config;
+}
+
+class PuFuzz : public ::testing::TestWithParam<unsigned>
+{
+};
+
+} // namespace
+
+TEST_P(PuFuzz, TransposeAlwaysMatchesGolden)
+{
+    Rng rng(0xfeed0000u + GetParam());
+    sparse::CsrMatrix a = randomMatrix(rng);
+    SystemConfig config = randomConfig(rng);
+    MendaSystem sys(config);
+    TransposeResult result = sys.transpose(a);
+    sparse::CscMatrix want = sparse::transposeReference(a);
+    ASSERT_EQ(result.csc.ptr, want.ptr)
+        << "PUs=" << config.totalPus() << " leaves=" << config.pu.leaves
+        << " fifo=" << config.pu.fifoEntries
+        << " buf=" << config.pu.prefetchBufferEntries;
+    ASSERT_EQ(result.csc.idx, want.idx);
+    ASSERT_EQ(result.csc.val, want.val);
+    result.csc.validate();
+}
+
+TEST_P(PuFuzz, SpmvAlwaysMatchesReference)
+{
+    Rng rng(0xbeef0000u + GetParam());
+    sparse::CsrMatrix a = randomMatrix(rng);
+    SystemConfig config = randomConfig(rng);
+    std::vector<Value> x(a.cols);
+    for (auto &v : x)
+        v = rng.value();
+    MendaSystem sys(config);
+    SpmvResult result = sys.spmv(a, x);
+    auto want = sparse::spmvReference(a, x);
+    for (std::size_t r = 0; r < want.size(); ++r)
+        ASSERT_NEAR(result.y[r], want[r],
+                    1e-3 * (std::abs(want[r]) + 1.0))
+            << "row " << r << " PUs=" << config.totalPus()
+            << " leaves=" << config.pu.leaves;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PuFuzz, ::testing::Range(0u, 12u));

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * End-to-end tests of a single MeNDA PU in SpMV mode (Sec. 3.6):
+ * correctness against the reference across shapes and tree sizes, the
+ * root reduction unit, the auxiliary-pointer traffic saving, and
+ * multi-iteration merges.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "dram/controller.hh"
+#include "menda/pu.hh"
+#include "sim/clock.hh"
+#include "sparse/generate.hh"
+
+using namespace menda;
+using namespace menda::core;
+
+namespace
+{
+
+struct SpmvHarness
+{
+    sparse::CsrMatrix csr;
+    sparse::CscMatrix csc;
+    std::vector<Value> x;
+    std::unique_ptr<dram::MemoryController> mem;
+    std::unique_ptr<Pu> pu;
+    TickScheduler sched;
+
+    SpmvHarness(sparse::CsrMatrix matrix, std::vector<Value> vec,
+                const PuConfig &config)
+        : csr(std::move(matrix)),
+          csc(sparse::transposeReference(csr)),
+          x(std::move(vec))
+    {
+        mem = std::make_unique<dram::MemoryController>(
+            "mem", dram::DramConfig::ddr4_2400r(1),
+            config.requestCoalescing);
+        pu = std::make_unique<Pu>("pu", config, &csc, &x, 0, mem.get());
+        sched.addDomain("pu", config.freqMhz)->attach(pu.get());
+        sched.addDomain("dram", 1200)->attach(mem.get());
+    }
+
+    void
+    run()
+    {
+        pu->start();
+        sched.runUntil([&] { return pu->done(); }, 2'000'000'000ull);
+        ASSERT_TRUE(pu->done()) << "SpMV PU did not finish";
+    }
+
+    void
+    expectMatchesReference()
+    {
+        auto want = sparse::spmvReference(csr, x);
+        const auto &got = pu->resultVector();
+        ASSERT_EQ(got.size(), want.size());
+        for (std::size_t r = 0; r < want.size(); ++r)
+            EXPECT_NEAR(got[r], want[r],
+                        1e-3 * (std::abs(want[r]) + 1.0))
+                << "row " << r;
+    }
+};
+
+std::vector<Value>
+rampVector(Index n)
+{
+    std::vector<Value> x(n);
+    for (Index i = 0; i < n; ++i)
+        x[i] = static_cast<Value>((i % 17) - 8) / 4.0f;
+    return x;
+}
+
+PuConfig
+spmvConfig(unsigned leaves)
+{
+    PuConfig config;
+    config.leaves = leaves;
+    return config;
+}
+
+} // namespace
+
+class PuSpmvMatrix
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(PuSpmvMatrix, MatchesReference)
+{
+    const auto [leaves, variant] = GetParam();
+    sparse::CsrMatrix a;
+    switch (variant) {
+      case 0: a = sparse::generateUniform(300, 200, 2400, 301); break;
+      case 1: a = sparse::generateRmat(512, 4000, 0.1, 0.2, 0.3, 303);
+              break;
+      case 2: a = sparse::generateBanded(400, 7, 0.5, 307); break;
+      default: a = sparse::generateUniform(100, 1500, 3000, 311); break;
+    }
+    SpmvHarness h(a, rampVector(a.cols), spmvConfig(leaves));
+    h.run();
+    h.expectMatchesReference();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LeavesByMatrix, PuSpmvMatrix,
+    ::testing::Combine(::testing::Values(4u, 16u, 64u),
+                       ::testing::Values(0u, 1u, 2u, 3u)));
+
+TEST(PuSpmv, ReductionMergesEqualRows)
+{
+    // Dense column band: many columns contribute to the same rows, so
+    // the reduction unit must sum across streams.
+    sparse::CsrMatrix a = sparse::generateBanded(64, 63, 0.9, 313);
+    SpmvHarness h(a, rampVector(a.cols), spmvConfig(16));
+    h.run();
+    h.expectMatchesReference();
+    // Output elements after reduction cannot exceed rows.
+    EXPECT_LE(h.pu->iterationStats().back().writeBlocks,
+              (a.rows * 4 + 63) / 64 + 2);
+}
+
+TEST(PuSpmv, HandlesEmptyColumnsViaAuxPointer)
+{
+    // Only a handful of populated columns in a wide matrix: the aux
+    // pointer array lets the controller skip the empty pointer blocks.
+    sparse::CooMatrix coo;
+    coo.rows = 64;
+    coo.cols = 4096;
+    coo.row = {1, 2, 3, 60};
+    coo.col = {100, 2000, 2001, 4000};
+    coo.val = {1.0f, 2.0f, 3.0f, 4.0f};
+    sparse::CsrMatrix a = sparse::cooToCsr(coo);
+    SpmvHarness h(a, std::vector<Value>(4096, 1.0f), spmvConfig(4));
+    h.run();
+    h.expectMatchesReference();
+    // Pointer array spans 4097 entries = 257 blocks; only ~4 hold
+    // non-empty columns. With the aux array the PU must load far fewer.
+    EXPECT_LT(h.pu->loadsIssued(), 80u);
+}
+
+TEST(PuSpmv, MultiIterationReduction)
+{
+    // More non-empty columns than leaves: several merge iterations with
+    // (index, value) pair intermediates.
+    sparse::CsrMatrix a = sparse::generateUniform(128, 600, 3000, 317);
+    SpmvHarness h(a, rampVector(a.cols), spmvConfig(4));
+    h.run();
+    EXPECT_GE(h.pu->iterationsExecuted(), 2u);
+    h.expectMatchesReference();
+}
+
+TEST(PuSpmv, ZeroMatrixGivesZeroVector)
+{
+    sparse::CsrMatrix a;
+    a.rows = 32;
+    a.cols = 32;
+    a.ptr.assign(33, 0);
+    SpmvHarness h(a, std::vector<Value>(32, 2.0f), spmvConfig(4));
+    h.run();
+    for (double v : h.pu->resultVector())
+        EXPECT_EQ(v, 0.0);
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the simulation kernel: exact multi-domain clocking and FIFO
+ * semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/clock.hh"
+#include "sim/fifo.hh"
+
+using namespace menda;
+
+namespace
+{
+
+struct CycleCounter : Ticked
+{
+    Cycle count = 0;
+    void tick() override { ++count; }
+};
+
+} // namespace
+
+TEST(Clock, TwoDomainsTickAtExactRatio)
+{
+    TickScheduler sched;
+    auto *pu = sched.addDomain("pu", 800);
+    auto *dram = sched.addDomain("dram", 1200);
+    CycleCounter pu_c, dram_c;
+    pu->attach(&pu_c);
+    dram->attach(&dram_c);
+
+    // Over any window, cycle counts must track the exact 800:1200 ratio.
+    sched.runUntil([&] { return pu_c.count >= 800 && dram_c.count >= 1200; });
+    EXPECT_EQ(pu_c.count, 800u);
+    EXPECT_EQ(dram_c.count, 1200u);
+    // 1200 DRAM cycles span [0, 1199 * (1/1200MHz)] of simulated time.
+    EXPECT_NEAR(sched.seconds(), 1e-6, 2e-9);
+}
+
+TEST(Clock, LcmBaseFrequency)
+{
+    TickScheduler sched;
+    sched.addDomain("a", 800);
+    sched.addDomain("b", 1200);
+    sched.step();
+    EXPECT_EQ(sched.baseFreqMhz(), 2400u);
+}
+
+TEST(Clock, CoincidentTicksFireBothDomains)
+{
+    TickScheduler sched;
+    auto *a = sched.addDomain("a", 600);
+    auto *b = sched.addDomain("b", 1200);
+    CycleCounter ca, cb;
+    a->attach(&ca);
+    b->attach(&cb);
+    sched.step(); // tick 0: both fire
+    EXPECT_EQ(ca.count, 1u);
+    EXPECT_EQ(cb.count, 1u);
+    sched.step(); // b only
+    EXPECT_EQ(ca.count, 1u);
+    EXPECT_EQ(cb.count, 2u);
+}
+
+TEST(Clock, SweepFrequenciesStayExact)
+{
+    // The Fig. 15 frequency sweep must be drift-free at every point.
+    for (std::uint64_t mhz : {400u, 600u, 800u, 1000u, 1200u}) {
+        TickScheduler sched;
+        auto *pu = sched.addDomain("pu", mhz);
+        auto *dram = sched.addDomain("dram", 1200);
+        CycleCounter pu_c, dram_c;
+        pu->attach(&pu_c);
+        dram->attach(&dram_c);
+        sched.runUntil([&] { return dram_c.count >= 12000; });
+        EXPECT_EQ(pu_c.count, mhz * 10) << mhz << " MHz";
+    }
+}
+
+TEST(Fifo, PushPopOrder)
+{
+    Fifo<int> f(3);
+    EXPECT_TRUE(f.empty());
+    f.push(1);
+    f.push(2);
+    f.push(3);
+    EXPECT_TRUE(f.full());
+    EXPECT_EQ(f.pop(), 1);
+    f.push(4);
+    EXPECT_EQ(f.pop(), 2);
+    EXPECT_EQ(f.pop(), 3);
+    EXPECT_EQ(f.pop(), 4);
+    EXPECT_TRUE(f.empty());
+}
+
+TEST(Fifo, OverflowAndUnderflowAreBugs)
+{
+    Fifo<int> f(1);
+    f.push(1);
+    EXPECT_THROW(f.push(2), std::runtime_error);
+    f.pop();
+    EXPECT_THROW(f.pop(), std::runtime_error);
+}
+
+TEST(Fifo, WrapsAroundManyTimes)
+{
+    Fifo<int> f(2);
+    for (int i = 0; i < 1000; ++i) {
+        f.push(i);
+        ASSERT_EQ(f.front(), i);
+        ASSERT_EQ(f.pop(), i);
+    }
+}

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Tests for the solver substrate: BiCG/QMR convergence on reference and
+ * MeNDA-backed operators, Gustavson SpMM, and the AᵀA normal-equations
+ * helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solver/bicg.hh"
+#include "solver/spmm.hh"
+#include "sparse/generate.hh"
+
+using namespace menda;
+using namespace menda::solver;
+
+namespace
+{
+
+/** Diagonally dominant banded test system (guaranteed convergent). */
+sparse::CsrMatrix
+dominantSystem(Index n, std::uint64_t seed)
+{
+    sparse::CsrMatrix a = sparse::generateBanded(n, 7, 0.6, seed);
+    for (Index r = 0; r < a.rows; ++r)
+        for (std::uint32_t k = a.ptr[r]; k < a.ptr[r + 1]; ++k)
+            if (a.idx[k] == r)
+                a.val[k] = 10.0f;
+    return a;
+}
+
+/** Residual ||b - A x|| / ||b|| computed from scratch. */
+double
+relativeResidual(const sparse::CsrMatrix &a, const std::vector<double> &x,
+                 const std::vector<double> &b)
+{
+    double rr = 0.0, bb = 0.0;
+    for (Index r = 0; r < a.rows; ++r) {
+        double ax = 0.0;
+        for (std::uint32_t k = a.ptr[r]; k < a.ptr[r + 1]; ++k)
+            ax += double(a.val[k]) * x[a.idx[k]];
+        rr += (b[r] - ax) * (b[r] - ax);
+        bb += b[r] * b[r];
+    }
+    return std::sqrt(rr / bb);
+}
+
+} // namespace
+
+TEST(Bicg, ConvergesOnDominantSystem)
+{
+    sparse::CsrMatrix a = dominantSystem(500, 1);
+    std::vector<double> b(a.rows, 1.0);
+    LinearOperator op = referenceOperator(a);
+    SolveResult result = bicg(op, b, 300, 1e-9);
+    EXPECT_TRUE(result.converged);
+    EXPECT_LT(relativeResidual(a, result.x, b), 1e-8);
+    EXPECT_LT(result.iterations, 100u);
+}
+
+TEST(Bicg, NonSymmetricSystem)
+{
+    // Banded + a non-symmetric perturbation; BiCG (unlike CG) handles
+    // it as long as dominance holds.
+    sparse::CsrMatrix a = dominantSystem(300, 2);
+    for (std::uint32_t k = 0; k < a.nnz(); k += 3)
+        a.val[k] += 0.3f;
+    std::vector<double> b(a.rows);
+    for (Index i = 0; i < a.rows; ++i)
+        b[i] = (i % 5) - 2.0;
+    SolveResult result = bicg(referenceOperator(a), b, 300, 1e-9);
+    EXPECT_TRUE(result.converged);
+    EXPECT_LT(relativeResidual(a, result.x, b), 1e-8);
+}
+
+TEST(Bicg, ZeroRhsIsTrivial)
+{
+    sparse::CsrMatrix a = dominantSystem(64, 3);
+    SolveResult result =
+        bicg(referenceOperator(a), std::vector<double>(64, 0.0));
+    EXPECT_TRUE(result.converged);
+    EXPECT_EQ(result.iterations, 0u);
+}
+
+TEST(Qmr, ConvergesMonotonically)
+{
+    sparse::CsrMatrix a = dominantSystem(400, 4);
+    std::vector<double> b(a.rows, 1.0);
+    SolveResult result = qmr(referenceOperator(a), b, 300, 1e-9);
+    EXPECT_TRUE(result.converged);
+    EXPECT_LT(relativeResidual(a, result.x, b), 1e-7);
+}
+
+TEST(Solver, MendaOperatorMatchesReference)
+{
+    sparse::CsrMatrix a = dominantSystem(256, 5);
+    std::vector<double> b(a.rows, 1.0);
+
+    SolveResult host = bicg(referenceOperator(a), b, 200, 1e-8);
+
+    core::SystemConfig config;
+    config.channels = 1;
+    config.dimmsPerChannel = 1;
+    config.ranksPerDimm = 2;
+    config.pu.leaves = 16;
+    MendaOperator menda_op(a, config);
+    LinearOperator near = menda_op.op();
+    SolveResult sim = bicg(near, b, 200, 1e-8);
+
+    ASSERT_TRUE(host.converged);
+    ASSERT_TRUE(sim.converged);
+    for (Index i = 0; i < a.rows; ++i)
+        EXPECT_NEAR(sim.x[i], host.x[i], 1e-4)
+            << "solution differs at " << i;
+    EXPECT_GT(menda_op.transposeSeconds(), 0.0);
+    EXPECT_GT(menda_op.spmvSeconds(), 0.0);
+}
+
+TEST(Spmm, MatchesDenseProduct)
+{
+    sparse::CsrMatrix a = sparse::generateUniform(40, 30, 200, 6);
+    sparse::CsrMatrix b = sparse::generateUniform(30, 50, 250, 7);
+    sparse::CsrMatrix c = spmm(a, b);
+    c.validate();
+    // Dense verification.
+    for (Index i = 0; i < a.rows; ++i) {
+        std::vector<double> want(b.cols, 0.0);
+        for (std::uint32_t ka = a.ptr[i]; ka < a.ptr[i + 1]; ++ka)
+            for (std::uint32_t kb = b.ptr[a.idx[ka]];
+                 kb < b.ptr[a.idx[ka] + 1]; ++kb)
+                want[b.idx[kb]] +=
+                    double(a.val[ka]) * double(b.val[kb]);
+        std::vector<double> got(b.cols, 0.0);
+        for (std::uint32_t k = c.ptr[i]; k < c.ptr[i + 1]; ++k)
+            got[c.idx[k]] = c.val[k];
+        for (Index j = 0; j < b.cols; ++j)
+            ASSERT_NEAR(got[j], want[j], 1e-3) << i << "," << j;
+    }
+}
+
+TEST(Spmm, NormalEquationsAreSymmetric)
+{
+    sparse::CsrMatrix a = sparse::generateUniform(60, 40, 300, 8);
+    sparse::CscMatrix at_csc = sparse::transposeReference(a);
+    sparse::CsrMatrix at = sparse::asCsrOfTranspose(at_csc);
+    sparse::CsrMatrix ata = normalEquations(at, a);
+    ata.validate();
+    EXPECT_EQ(ata.rows, a.cols);
+    EXPECT_EQ(ata.cols, a.cols);
+    // Symmetry: AᵀA(i,j) == AᵀA(j,i).
+    for (Index i = 0; i < ata.rows; ++i) {
+        for (std::uint32_t k = ata.ptr[i]; k < ata.ptr[i + 1]; ++k) {
+            const Index j = ata.idx[k];
+            bool found = false;
+            for (std::uint32_t k2 = ata.ptr[j]; k2 < ata.ptr[j + 1];
+                 ++k2) {
+                if (ata.idx[k2] == i) {
+                    EXPECT_NEAR(ata.val[k], ata.val[k2], 1e-4);
+                    found = true;
+                }
+            }
+            EXPECT_TRUE(found) << "asymmetric sparsity at " << i << ","
+                               << j;
+        }
+    }
+    // Diagonal is non-negative (column norms squared).
+    for (Index i = 0; i < ata.rows; ++i) {
+        for (std::uint32_t k = ata.ptr[i]; k < ata.ptr[i + 1]; ++k) {
+            if (ata.idx[k] == i) {
+                EXPECT_GE(ata.val[k], 0.0f);
+            }
+        }
+    }
+}
+
+TEST(Spmm, WorkMetricCountsPartialProducts)
+{
+    sparse::CooMatrix coo;
+    coo.rows = coo.cols = 2;
+    coo.row = {0, 0, 1};
+    coo.col = {0, 1, 1};
+    coo.val = {1, 1, 1};
+    sparse::CsrMatrix a = sparse::cooToCsr(coo);
+    // Row 0 of A has entries in cols {0,1} -> rows 0,1 of B (B=A):
+    // work = len(row0)+len(row1) = 2+1; row 1 -> len(row1) = 1. Total 4.
+    EXPECT_EQ(spmmWork(a, a), 4u);
+}
+
+TEST(Bicg, SingularSystemReportsBreakdownOrStalls)
+{
+    // A nilpotent-ish system with a zero row: BiCG cannot converge and
+    // must terminate cleanly (breakdown or iteration cap), not hang.
+    sparse::CooMatrix coo;
+    coo.rows = coo.cols = 8;
+    coo.row = {0, 1, 2};
+    coo.col = {1, 2, 3};
+    coo.val = {1.0f, 1.0f, 1.0f};
+    sparse::CsrMatrix a = sparse::cooToCsr(coo);
+    std::vector<double> b(8, 1.0);
+    SolveResult result = bicg(referenceOperator(a), b, 50, 1e-10);
+    EXPECT_FALSE(result.converged);
+    EXPECT_LE(result.iterations, 50u);
+}
+
+TEST(Qmr, ResidualIsMonotonicallyNonIncreasing)
+{
+    // The point of QMR smoothing: re-running with increasing iteration
+    // caps must give non-increasing residuals.
+    sparse::CsrMatrix a = dominantSystem(200, 9);
+    std::vector<double> b(a.rows, 1.0);
+    LinearOperator op = referenceOperator(a);
+    double last = 1e300;
+    for (unsigned cap : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        SolveResult r = qmr(op, b, cap, 1e-30);
+        EXPECT_LE(r.residualNorm, last * (1.0 + 1e-9))
+            << "cap " << cap;
+        last = r.residualNorm;
+    }
+}
+
+TEST(Spmm, EmptyAndIdentityCases)
+{
+    sparse::CsrMatrix empty;
+    empty.rows = empty.cols = 4;
+    empty.ptr.assign(5, 0);
+    sparse::CsrMatrix c = spmm(empty, empty);
+    EXPECT_EQ(c.nnz(), 0u);
+
+    // Identity x A == A.
+    sparse::CooMatrix icoo;
+    icoo.rows = icoo.cols = 5;
+    for (Index i = 0; i < 5; ++i) {
+        icoo.row.push_back(i);
+        icoo.col.push_back(i);
+        icoo.val.push_back(1.0f);
+    }
+    sparse::CsrMatrix eye = sparse::cooToCsr(icoo);
+    sparse::CsrMatrix a = sparse::generateUniform(5, 5, 10, 15);
+    sparse::CsrMatrix prod = spmm(eye, a);
+    EXPECT_EQ(prod.ptr, a.ptr);
+    EXPECT_EQ(prod.idx, a.idx);
+}

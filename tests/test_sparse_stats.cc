@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the matrix-analysis module.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sparse/generate.hh"
+#include "sparse/stats.hh"
+
+using namespace menda;
+using namespace menda::sparse;
+
+TEST(MatrixStats, HandComputedExample)
+{
+    CooMatrix coo;
+    coo.rows = 4;
+    coo.cols = 4;
+    coo.row = {0, 0, 1, 3};
+    coo.col = {0, 3, 1, 0};
+    coo.val = {1, 2, 3, 4};
+    CsrMatrix a = cooToCsr(coo);
+    MatrixStats stats = analyze(a);
+    EXPECT_EQ(stats.nnz, 4u);
+    EXPECT_EQ(stats.emptyRows, 1u); // row 2
+    EXPECT_EQ(stats.emptyCols, 1u); // col 2
+    EXPECT_EQ(stats.bandwidth, 3u); // (0,3) and (3,0)
+    EXPECT_DOUBLE_EQ(stats.rowLengths.mean, 1.0);
+    EXPECT_EQ(stats.rowLengths.max, 2u);
+    // Symmetric pairs: (0,0), (1,1), and (0,3)/(3,0) -> all 4 entries.
+    EXPECT_DOUBLE_EQ(stats.structuralSymmetry, 1.0);
+}
+
+TEST(MatrixStats, SymmetryDetectsAsymmetry)
+{
+    CooMatrix coo;
+    coo.rows = coo.cols = 3;
+    coo.row = {0, 1};
+    coo.col = {1, 2};
+    coo.val = {1, 1};
+    MatrixStats stats = analyze(cooToCsr(coo));
+    EXPECT_DOUBLE_EQ(stats.structuralSymmetry, 0.0);
+}
+
+TEST(MatrixStats, BandedMatrixHasSmallBandwidth)
+{
+    CsrMatrix a = generateBanded(500, 9, 0.8, 1);
+    MatrixStats stats = analyze(a);
+    EXPECT_LE(stats.bandwidth, 4u);
+    EXPECT_GT(stats.structuralSymmetry, 0.3);
+    EXPECT_EQ(stats.emptyRows, 0u);
+}
+
+TEST(MatrixStats, SkewSeparatesUniformFromPowerLaw)
+{
+    CsrMatrix u = generateUniform(4096, 4096, 40000, 2);
+    CsrMatrix p = generateRmat(4096, 40000, 0.1, 0.2, 0.3, 3);
+    MatrixStats su = analyze(u);
+    MatrixStats sp = analyze(p);
+    EXPECT_LT(su.rowLengths.skew, 1.3);
+    EXPECT_GT(sp.rowLengths.skew, 1.8);
+}
+
+TEST(MatrixStats, MergeIterationFormula)
+{
+    CsrMatrix a = generateBanded(1000, 5, 1.0, 4); // 1000 non-empty rows
+    MatrixStats stats = analyze(a);
+    EXPECT_EQ(stats.mergeIterations(1024), 1u);
+    EXPECT_EQ(stats.mergeIterations(32), 2u);  // 1000 -> 32 -> 1
+    EXPECT_EQ(stats.mergeIterations(10), 3u);  // 1000 -> 100 -> 10 -> 1
+    EXPECT_EQ(stats.mergeIterations(2), 10u);  // ceil(log2 1000)
+}
+
+TEST(Distribution, Log2HistogramBuckets)
+{
+    LengthDistribution dist =
+        distributionOf({0, 1, 2, 3, 4, 7, 8, 100});
+    // Buckets: [0]=1, [1]=1, [2,3]=2, [4,7]=2, [8,15]=1, ..., [64,127]=1
+    ASSERT_GE(dist.log2Histogram.size(), 8u);
+    EXPECT_EQ(dist.log2Histogram[0], 1u);
+    EXPECT_EQ(dist.log2Histogram[1], 1u);
+    EXPECT_EQ(dist.log2Histogram[2], 2u);
+    EXPECT_EQ(dist.log2Histogram[3], 2u);
+    EXPECT_EQ(dist.log2Histogram[4], 1u);
+    EXPECT_EQ(dist.log2Histogram[7], 1u);
+    EXPECT_EQ(dist.min, 0u);
+    EXPECT_EQ(dist.max, 100u);
+}
+
+TEST(Distribution, EmptyInput)
+{
+    LengthDistribution dist = distributionOf({});
+    EXPECT_EQ(dist.max, 0u);
+    EXPECT_EQ(dist.mean, 0.0);
+}

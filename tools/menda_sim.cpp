@@ -1,0 +1,245 @@
+/**
+ * @file
+ * `menda_sim` — the command-line driver for the simulator.
+ *
+ *   menda_sim inspect   <file.mtx | --workload=NAME> [--scale=N]
+ *   menda_sim transpose <file.mtx | --workload=NAME> [system flags]
+ *   menda_sim spmv      <file.mtx | --workload=NAME> [system flags]
+ *   menda_sim sweep     <file.mtx | --workload=NAME> --param=channels|leaves|frequency
+ *
+ * System flags: --channels --dimms --ranks --leaves --freq
+ *               --no-prefetch --no-coalescing --no-seamless
+ *               --row-partitioning --json
+ *
+ * Examples:
+ *   menda_sim inspect --workload=wiki-Talk --scale=16
+ *   menda_sim transpose my_matrix.mtx --channels=2 --leaves=512 --json
+ *   menda_sim sweep --workload=N5 --param=channels
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/log.hh"
+#include "menda/system.hh"
+#include "power/power_model.hh"
+#include "sparse/mmio.hh"
+#include "sparse/stats.hh"
+#include "sparse/workloads.hh"
+
+namespace
+{
+
+using namespace menda;
+
+sparse::CsrMatrix
+loadMatrix(const Options &opts)
+{
+    // Positional argument after the subcommand = a Matrix Market file.
+    for (const auto &[pos, arg] : opts.positional()) {
+        if (pos >= 2)
+            return sparse::readMatrixMarketFile(arg);
+    }
+    const std::string name = opts.get("workload", "N3");
+    return sparse::makeWorkload(sparse::findWorkload(name),
+                                opts.scale(8));
+}
+
+core::SystemConfig
+systemFromFlags(const Options &opts)
+{
+    core::SystemConfig config;
+    config.channels =
+        static_cast<unsigned>(opts.getInt("channels", 1));
+    config.dimmsPerChannel =
+        static_cast<unsigned>(opts.getInt("dimms", 2));
+    config.ranksPerDimm = static_cast<unsigned>(opts.getInt("ranks", 2));
+    config.pu.leaves =
+        static_cast<unsigned>(opts.getInt("leaves", 256));
+    config.pu.freqMhz =
+        static_cast<std::uint64_t>(opts.getInt("freq", 800));
+    config.pu.stallReducingPrefetch = !opts.has("no-prefetch");
+    config.pu.requestCoalescing = !opts.has("no-coalescing");
+    config.pu.seamlessMerge = !opts.has("no-seamless");
+    config.rowPartitioning = opts.has("row-partitioning");
+    return config;
+}
+
+void
+printRunResult(const char *kernel, const core::RunResult &result,
+               const sparse::CsrMatrix &a,
+               const core::SystemConfig &config, bool json)
+{
+    power::PuPowerModel power;
+    const double watts =
+        power.puWatts(config.pu, std::strcmp(kernel, "spmv") == 0) *
+        config.totalPus();
+    if (json) {
+        std::printf("{\"kernel\":\"%s\",\"rows\":%u,\"cols\":%u,"
+                    "\"nnz\":%lu,\"pus\":%u,\"leaves\":%u,"
+                    "\"seconds\":%.9g,\"iterations\":%u,"
+                    "\"readBlocks\":%lu,\"writeBlocks\":%lu,"
+                    "\"coalesced\":%lu,\"busUtilization\":%.4f,"
+                    "\"puWatts\":%.4f}\n",
+                    kernel, a.rows, a.cols, (unsigned long)a.nnz(),
+                    config.totalPus(), config.pu.leaves, result.seconds,
+                    result.iterations, (unsigned long)result.readBlocks,
+                    (unsigned long)result.writeBlocks,
+                    (unsigned long)result.coalescedRequests,
+                    result.busUtilization, watts);
+        return;
+    }
+    std::printf("%s on %u PUs (%u leaves, %lu MHz):\n", kernel,
+                config.totalPus(), config.pu.leaves,
+                (unsigned long)config.pu.freqMhz);
+    std::printf("  simulated time     %.3f ms (%u merge iterations)\n",
+                result.seconds * 1e3, result.iterations);
+    std::printf("  throughput         %.1f MNNZ/s\n",
+                result.throughputNnzPerSec(a.nnz()) / 1e6);
+    std::printf("  traffic            %.2f MB (%lu rd + %lu wr blocks, "
+                "%lu coalesced)\n", result.totalBlocks() * 64.0 / 1e6,
+                (unsigned long)result.readBlocks,
+                (unsigned long)result.writeBlocks,
+                (unsigned long)result.coalescedRequests);
+    std::printf("  bus utilization    %.1f%%\n",
+                result.busUtilization * 100.0);
+    std::printf("  PU power           %.1f mW total\n", watts * 1e3);
+}
+
+int
+cmdInspect(const Options &opts)
+{
+    sparse::CsrMatrix a = loadMatrix(opts);
+    sparse::MatrixStats stats = sparse::analyze(a);
+    if (opts.has("json")) {
+        std::printf("{\"rows\":%u,\"cols\":%u,\"nnz\":%lu,"
+                    "\"density\":%.8f,\"emptyRows\":%u,\"emptyCols\":%u,"
+                    "\"rowMean\":%.3f,\"rowMax\":%u,\"rowSkew\":%.3f,"
+                    "\"bandwidth\":%u,\"symmetry\":%.4f}\n",
+                    stats.rows, stats.cols, (unsigned long)stats.nnz,
+                    stats.density, stats.emptyRows, stats.emptyCols,
+                    stats.rowLengths.mean, stats.rowLengths.max,
+                    stats.rowLengths.skew, stats.bandwidth,
+                    stats.structuralSymmetry);
+        return 0;
+    }
+    std::printf("matrix: %u x %u, %lu non-zeros (density %.5f%%)\n",
+                stats.rows, stats.cols, (unsigned long)stats.nnz,
+                100.0 * stats.density);
+    std::printf("rows:   mean %.2f, max %u, skew %.2f, %u empty\n",
+                stats.rowLengths.mean, stats.rowLengths.max,
+                stats.rowLengths.skew, stats.emptyRows);
+    std::printf("cols:   mean %.2f, max %u, skew %.2f, %u empty\n",
+                stats.colLengths.mean, stats.colLengths.max,
+                stats.colLengths.skew, stats.emptyCols);
+    std::printf("bandwidth %u, structural symmetry %.1f%%\n",
+                stats.bandwidth, 100.0 * stats.structuralSymmetry);
+    std::printf("row-length histogram (log2 buckets):");
+    for (std::size_t b = 0; b < stats.rowLengths.log2Histogram.size();
+         ++b)
+        std::printf(" %lu",
+                    (unsigned long)stats.rowLengths.log2Histogram[b]);
+    std::printf("\nMeNDA iterations on one PU: %u (1024 leaves) / %u "
+                "(256) / %u (64)\n", stats.mergeIterations(1024),
+                stats.mergeIterations(256), stats.mergeIterations(64));
+    return 0;
+}
+
+int
+cmdTranspose(const Options &opts)
+{
+    sparse::CsrMatrix a = loadMatrix(opts);
+    core::SystemConfig config = systemFromFlags(opts);
+    core::MendaSystem sys(config);
+    core::TransposeResult result = sys.transpose(a);
+    if (opts.has("verify")) {
+        if (!(result.csc == sparse::transposeReference(a)))
+            menda_fatal("verification FAILED");
+        std::printf("verified against the golden reference\n");
+    }
+    printRunResult("transpose", result, a, config, opts.has("json"));
+    return 0;
+}
+
+int
+cmdSpmv(const Options &opts)
+{
+    sparse::CsrMatrix a = loadMatrix(opts);
+    core::SystemConfig config = systemFromFlags(opts);
+    std::vector<Value> x(a.cols, 1.0f);
+    core::MendaSystem sys(config);
+    core::SpmvResult result = sys.spmv(a, x);
+    printRunResult("spmv", result, a, config, opts.has("json"));
+    return 0;
+}
+
+int
+cmdSweep(const Options &opts)
+{
+    sparse::CsrMatrix a = loadMatrix(opts);
+    const std::string param = opts.get("param", "channels");
+    std::vector<std::int64_t> values;
+    if (param == "channels")
+        values = {1, 2, 4};
+    else if (param == "leaves")
+        values = {16, 64, 256, 1024};
+    else if (param == "frequency")
+        values = {400, 600, 800, 1000, 1200};
+    else
+        menda_fatal("unknown sweep parameter '", param,
+                    "' (channels|leaves|frequency)");
+
+    std::printf("%-10s %12s %12s %8s %10s\n", param.c_str(), "time(ms)",
+                "MNNZ/s", "iters", "busUtil");
+    for (std::int64_t value : values) {
+        core::SystemConfig config = systemFromFlags(opts);
+        if (param == "channels")
+            config.channels = static_cast<unsigned>(value);
+        else if (param == "leaves")
+            config.pu.leaves = static_cast<unsigned>(value);
+        else
+            config.pu.freqMhz = static_cast<std::uint64_t>(value);
+        core::MendaSystem sys(config);
+        core::TransposeResult result = sys.transpose(a);
+        std::printf("%-10ld %12.3f %12.1f %8u %9.1f%%\n", (long)value,
+                    result.seconds * 1e3,
+                    result.throughputNnzPerSec(a.nnz()) / 1e6,
+                    result.iterations, result.busUtilization * 100.0);
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace menda;
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: menda_sim <inspect|transpose|spmv|sweep> "
+                     "[matrix.mtx] [--workload=NAME] [flags]\n");
+        return 2;
+    }
+    Options opts;
+    opts.parse(argc, argv);
+    const std::string cmd = argv[1];
+    try {
+        if (cmd == "inspect")
+            return cmdInspect(opts);
+        if (cmd == "transpose")
+            return cmdTranspose(opts);
+        if (cmd == "spmv")
+            return cmdSpmv(opts);
+        if (cmd == "sweep")
+            return cmdSweep(opts);
+        std::fprintf(stderr, "unknown subcommand '%s'\n", cmd.c_str());
+        return 2;
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+}
