@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02a_sssp_breakdown.dir/bench_fig02a_sssp_breakdown.cc.o"
+  "CMakeFiles/bench_fig02a_sssp_breakdown.dir/bench_fig02a_sssp_breakdown.cc.o.d"
+  "bench_fig02a_sssp_breakdown"
+  "bench_fig02a_sssp_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02a_sssp_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

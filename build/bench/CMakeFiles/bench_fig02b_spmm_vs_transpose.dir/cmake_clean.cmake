@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02b_spmm_vs_transpose.dir/bench_fig02b_spmm_vs_transpose.cc.o"
+  "CMakeFiles/bench_fig02b_spmm_vs_transpose.dir/bench_fig02b_spmm_vs_transpose.cc.o.d"
+  "bench_fig02b_spmm_vs_transpose"
+  "bench_fig02b_spmm_vs_transpose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02b_spmm_vs_transpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

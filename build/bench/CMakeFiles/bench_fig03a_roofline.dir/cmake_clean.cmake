@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03a_roofline.dir/bench_fig03a_roofline.cc.o"
+  "CMakeFiles/bench_fig03a_roofline.dir/bench_fig03a_roofline.cc.o.d"
+  "bench_fig03a_roofline"
+  "bench_fig03a_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03a_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_optimizations.dir/bench_fig12_optimizations.cc.o"
+  "CMakeFiles/bench_fig12_optimizations.dir/bench_fig12_optimizations.cc.o.d"
+  "bench_fig12_optimizations"
+  "bench_fig12_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_dse.dir/bench_fig15_dse.cc.o"
+  "CMakeFiles/bench_fig15_dse.dir/bench_fig15_dse.cc.o.d"
+  "bench_fig15_dse"
+  "bench_fig15_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

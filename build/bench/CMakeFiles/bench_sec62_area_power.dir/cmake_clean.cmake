@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec62_area_power.dir/bench_sec62_area_power.cc.o"
+  "CMakeFiles/bench_sec62_area_power.dir/bench_sec62_area_power.cc.o.d"
+  "bench_sec62_area_power"
+  "bench_sec62_area_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec62_area_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slam_information_matrix.dir/slam_information_matrix.cpp.o"
+  "CMakeFiles/slam_information_matrix.dir/slam_information_matrix.cpp.o.d"
+  "slam_information_matrix"
+  "slam_information_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slam_information_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmv_dataflow.dir/spmv_dataflow.cpp.o"
+  "CMakeFiles/spmv_dataflow.dir/spmv_dataflow.cpp.o.d"
+  "spmv_dataflow"
+  "spmv_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmv_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for spmv_dataflow.
+# This may be replaced when dependencies are built.

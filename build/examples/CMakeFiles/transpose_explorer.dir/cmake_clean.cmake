@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transpose_explorer.dir/transpose_explorer.cpp.o"
+  "CMakeFiles/transpose_explorer.dir/transpose_explorer.cpp.o.d"
+  "transpose_explorer"
+  "transpose_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transpose_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

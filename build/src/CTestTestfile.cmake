@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("sparse")
+subdirs("mem")
+subdirs("dram")
+subdirs("menda")
+subdirs("cache")
+subdirs("trace")
+subdirs("baselines")
+subdirs("cosparse")
+subdirs("power")
+subdirs("solver")

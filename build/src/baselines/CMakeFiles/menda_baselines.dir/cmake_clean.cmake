@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/menda_baselines.dir/accel_models.cc.o"
+  "CMakeFiles/menda_baselines.dir/accel_models.cc.o.d"
+  "CMakeFiles/menda_baselines.dir/gpu_model.cc.o"
+  "CMakeFiles/menda_baselines.dir/gpu_model.cc.o.d"
+  "CMakeFiles/menda_baselines.dir/merge_trans.cc.o"
+  "CMakeFiles/menda_baselines.dir/merge_trans.cc.o.d"
+  "CMakeFiles/menda_baselines.dir/scan_trans.cc.o"
+  "CMakeFiles/menda_baselines.dir/scan_trans.cc.o.d"
+  "libmenda_baselines.a"
+  "libmenda_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/menda_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

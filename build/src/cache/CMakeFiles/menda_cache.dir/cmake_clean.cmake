@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/menda_cache.dir/cache.cc.o"
+  "CMakeFiles/menda_cache.dir/cache.cc.o.d"
+  "libmenda_cache.a"
+  "libmenda_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/menda_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

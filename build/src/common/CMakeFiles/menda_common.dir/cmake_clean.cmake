@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/menda_common.dir/config.cc.o"
+  "CMakeFiles/menda_common.dir/config.cc.o.d"
+  "CMakeFiles/menda_common.dir/log.cc.o"
+  "CMakeFiles/menda_common.dir/log.cc.o.d"
+  "CMakeFiles/menda_common.dir/stats.cc.o"
+  "CMakeFiles/menda_common.dir/stats.cc.o.d"
+  "libmenda_common.a"
+  "libmenda_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/menda_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

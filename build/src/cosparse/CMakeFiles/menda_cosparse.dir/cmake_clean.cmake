@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/menda_cosparse.dir/cosparse.cc.o"
+  "CMakeFiles/menda_cosparse.dir/cosparse.cc.o.d"
+  "libmenda_cosparse.a"
+  "libmenda_cosparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/menda_cosparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

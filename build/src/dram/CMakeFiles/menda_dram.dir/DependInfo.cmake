@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/address.cc" "src/dram/CMakeFiles/menda_dram.dir/address.cc.o" "gcc" "src/dram/CMakeFiles/menda_dram.dir/address.cc.o.d"
+  "/root/repo/src/dram/controller.cc" "src/dram/CMakeFiles/menda_dram.dir/controller.cc.o" "gcc" "src/dram/CMakeFiles/menda_dram.dir/controller.cc.o.d"
+  "/root/repo/src/dram/dram_config.cc" "src/dram/CMakeFiles/menda_dram.dir/dram_config.cc.o" "gcc" "src/dram/CMakeFiles/menda_dram.dir/dram_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/menda_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/menda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/menda_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

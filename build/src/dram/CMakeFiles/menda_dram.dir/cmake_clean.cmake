@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/menda_dram.dir/address.cc.o"
+  "CMakeFiles/menda_dram.dir/address.cc.o.d"
+  "CMakeFiles/menda_dram.dir/controller.cc.o"
+  "CMakeFiles/menda_dram.dir/controller.cc.o.d"
+  "CMakeFiles/menda_dram.dir/dram_config.cc.o"
+  "CMakeFiles/menda_dram.dir/dram_config.cc.o.d"
+  "libmenda_dram.a"
+  "libmenda_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/menda_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

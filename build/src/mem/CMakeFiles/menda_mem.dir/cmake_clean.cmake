@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/menda_mem.dir/request_queue.cc.o"
+  "CMakeFiles/menda_mem.dir/request_queue.cc.o.d"
+  "libmenda_mem.a"
+  "libmenda_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/menda_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

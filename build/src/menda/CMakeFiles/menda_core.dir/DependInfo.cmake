@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/menda/host_api.cc" "src/menda/CMakeFiles/menda_core.dir/host_api.cc.o" "gcc" "src/menda/CMakeFiles/menda_core.dir/host_api.cc.o.d"
+  "/root/repo/src/menda/merge_tree.cc" "src/menda/CMakeFiles/menda_core.dir/merge_tree.cc.o" "gcc" "src/menda/CMakeFiles/menda_core.dir/merge_tree.cc.o.d"
+  "/root/repo/src/menda/output_unit.cc" "src/menda/CMakeFiles/menda_core.dir/output_unit.cc.o" "gcc" "src/menda/CMakeFiles/menda_core.dir/output_unit.cc.o.d"
+  "/root/repo/src/menda/page_coloring.cc" "src/menda/CMakeFiles/menda_core.dir/page_coloring.cc.o" "gcc" "src/menda/CMakeFiles/menda_core.dir/page_coloring.cc.o.d"
+  "/root/repo/src/menda/prefetch_buffer.cc" "src/menda/CMakeFiles/menda_core.dir/prefetch_buffer.cc.o" "gcc" "src/menda/CMakeFiles/menda_core.dir/prefetch_buffer.cc.o.d"
+  "/root/repo/src/menda/pu.cc" "src/menda/CMakeFiles/menda_core.dir/pu.cc.o" "gcc" "src/menda/CMakeFiles/menda_core.dir/pu.cc.o.d"
+  "/root/repo/src/menda/system.cc" "src/menda/CMakeFiles/menda_core.dir/system.cc.o" "gcc" "src/menda/CMakeFiles/menda_core.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/menda_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/menda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/menda_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/menda_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/menda_sparse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

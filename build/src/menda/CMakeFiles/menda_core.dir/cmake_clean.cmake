@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/menda_core.dir/host_api.cc.o"
+  "CMakeFiles/menda_core.dir/host_api.cc.o.d"
+  "CMakeFiles/menda_core.dir/merge_tree.cc.o"
+  "CMakeFiles/menda_core.dir/merge_tree.cc.o.d"
+  "CMakeFiles/menda_core.dir/output_unit.cc.o"
+  "CMakeFiles/menda_core.dir/output_unit.cc.o.d"
+  "CMakeFiles/menda_core.dir/page_coloring.cc.o"
+  "CMakeFiles/menda_core.dir/page_coloring.cc.o.d"
+  "CMakeFiles/menda_core.dir/prefetch_buffer.cc.o"
+  "CMakeFiles/menda_core.dir/prefetch_buffer.cc.o.d"
+  "CMakeFiles/menda_core.dir/pu.cc.o"
+  "CMakeFiles/menda_core.dir/pu.cc.o.d"
+  "CMakeFiles/menda_core.dir/system.cc.o"
+  "CMakeFiles/menda_core.dir/system.cc.o.d"
+  "libmenda_core.a"
+  "libmenda_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/menda_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/menda_power.dir/power_model.cc.o"
+  "CMakeFiles/menda_power.dir/power_model.cc.o.d"
+  "libmenda_power.a"
+  "libmenda_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/menda_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

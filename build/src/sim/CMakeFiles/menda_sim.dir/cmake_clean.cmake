@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/menda_sim.dir/clock.cc.o"
+  "CMakeFiles/menda_sim.dir/clock.cc.o.d"
+  "libmenda_sim.a"
+  "libmenda_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/menda_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

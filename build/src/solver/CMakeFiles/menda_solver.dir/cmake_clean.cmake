@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/menda_solver.dir/bicg.cc.o"
+  "CMakeFiles/menda_solver.dir/bicg.cc.o.d"
+  "CMakeFiles/menda_solver.dir/spmm.cc.o"
+  "CMakeFiles/menda_solver.dir/spmm.cc.o.d"
+  "libmenda_solver.a"
+  "libmenda_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/menda_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/format.cc" "src/sparse/CMakeFiles/menda_sparse.dir/format.cc.o" "gcc" "src/sparse/CMakeFiles/menda_sparse.dir/format.cc.o.d"
+  "/root/repo/src/sparse/generate.cc" "src/sparse/CMakeFiles/menda_sparse.dir/generate.cc.o" "gcc" "src/sparse/CMakeFiles/menda_sparse.dir/generate.cc.o.d"
+  "/root/repo/src/sparse/mmio.cc" "src/sparse/CMakeFiles/menda_sparse.dir/mmio.cc.o" "gcc" "src/sparse/CMakeFiles/menda_sparse.dir/mmio.cc.o.d"
+  "/root/repo/src/sparse/partition.cc" "src/sparse/CMakeFiles/menda_sparse.dir/partition.cc.o" "gcc" "src/sparse/CMakeFiles/menda_sparse.dir/partition.cc.o.d"
+  "/root/repo/src/sparse/stats.cc" "src/sparse/CMakeFiles/menda_sparse.dir/stats.cc.o" "gcc" "src/sparse/CMakeFiles/menda_sparse.dir/stats.cc.o.d"
+  "/root/repo/src/sparse/workloads.cc" "src/sparse/CMakeFiles/menda_sparse.dir/workloads.cc.o" "gcc" "src/sparse/CMakeFiles/menda_sparse.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/menda_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

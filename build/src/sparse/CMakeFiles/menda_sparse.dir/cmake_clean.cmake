@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/menda_sparse.dir/format.cc.o"
+  "CMakeFiles/menda_sparse.dir/format.cc.o.d"
+  "CMakeFiles/menda_sparse.dir/generate.cc.o"
+  "CMakeFiles/menda_sparse.dir/generate.cc.o.d"
+  "CMakeFiles/menda_sparse.dir/mmio.cc.o"
+  "CMakeFiles/menda_sparse.dir/mmio.cc.o.d"
+  "CMakeFiles/menda_sparse.dir/partition.cc.o"
+  "CMakeFiles/menda_sparse.dir/partition.cc.o.d"
+  "CMakeFiles/menda_sparse.dir/stats.cc.o"
+  "CMakeFiles/menda_sparse.dir/stats.cc.o.d"
+  "CMakeFiles/menda_sparse.dir/workloads.cc.o"
+  "CMakeFiles/menda_sparse.dir/workloads.cc.o.d"
+  "libmenda_sparse.a"
+  "libmenda_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/menda_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/menda_trace.dir/replay.cc.o"
+  "CMakeFiles/menda_trace.dir/replay.cc.o.d"
+  "libmenda_trace.a"
+  "libmenda_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/menda_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cosparse.dir/test_cosparse.cc.o"
+  "CMakeFiles/test_cosparse.dir/test_cosparse.cc.o.d"
+  "test_cosparse"
+  "test_cosparse.pdb"
+  "test_cosparse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cosparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dram_timing_checker.dir/test_dram_timing_checker.cc.o"
+  "CMakeFiles/test_dram_timing_checker.dir/test_dram_timing_checker.cc.o.d"
+  "test_dram_timing_checker"
+  "test_dram_timing_checker.pdb"
+  "test_dram_timing_checker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dram_timing_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

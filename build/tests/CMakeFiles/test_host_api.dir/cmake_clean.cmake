@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_host_api.dir/test_host_api.cc.o"
+  "CMakeFiles/test_host_api.dir/test_host_api.cc.o.d"
+  "test_host_api"
+  "test_host_api.pdb"
+  "test_host_api[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_host_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_map.dir/test_memory_map.cc.o"
+  "CMakeFiles/test_memory_map.dir/test_memory_map.cc.o.d"
+  "test_memory_map"
+  "test_memory_map.pdb"
+  "test_memory_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_output_unit.dir/test_output_unit.cc.o"
+  "CMakeFiles/test_output_unit.dir/test_output_unit.cc.o.d"
+  "test_output_unit"
+  "test_output_unit.pdb"
+  "test_output_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_output_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

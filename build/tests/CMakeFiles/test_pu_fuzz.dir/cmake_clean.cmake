@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pu_fuzz.dir/test_pu_fuzz.cc.o"
+  "CMakeFiles/test_pu_fuzz.dir/test_pu_fuzz.cc.o.d"
+  "test_pu_fuzz"
+  "test_pu_fuzz.pdb"
+  "test_pu_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pu_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

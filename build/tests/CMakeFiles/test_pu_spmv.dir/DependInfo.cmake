@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_pu_spmv.cc" "tests/CMakeFiles/test_pu_spmv.dir/test_pu_spmv.cc.o" "gcc" "tests/CMakeFiles/test_pu_spmv.dir/test_pu_spmv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/menda/CMakeFiles/menda_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/menda_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/menda_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/menda_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/menda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/menda_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/menda_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/menda_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/cosparse/CMakeFiles/menda_cosparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/menda_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/menda_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pu_spmv.dir/test_pu_spmv.cc.o"
+  "CMakeFiles/test_pu_spmv.dir/test_pu_spmv.cc.o.d"
+  "test_pu_spmv"
+  "test_pu_spmv.pdb"
+  "test_pu_spmv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pu_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

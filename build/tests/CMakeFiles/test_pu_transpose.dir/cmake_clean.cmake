@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pu_transpose.dir/test_pu_transpose.cc.o"
+  "CMakeFiles/test_pu_transpose.dir/test_pu_transpose.cc.o.d"
+  "test_pu_transpose"
+  "test_pu_transpose.pdb"
+  "test_pu_transpose[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pu_transpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_stats.dir/test_sparse_stats.cc.o"
+  "CMakeFiles/test_sparse_stats.dir/test_sparse_stats.cc.o.d"
+  "test_sparse_stats"
+  "test_sparse_stats.pdb"
+  "test_sparse_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_sparse[1]_include.cmake")
+include("/root/repo/build/tests/test_dram[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_merge_tree[1]_include.cmake")
+include("/root/repo/build/tests/test_pu_transpose[1]_include.cmake")
+include("/root/repo/build/tests/test_system[1]_include.cmake")
+include("/root/repo/build/tests/test_host_api[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_replay[1]_include.cmake")
+include("/root/repo/build/tests/test_cosparse[1]_include.cmake")
+include("/root/repo/build/tests/test_power[1]_include.cmake")
+include("/root/repo/build/tests/test_output_unit[1]_include.cmake")
+include("/root/repo/build/tests/test_prefetch_buffer[1]_include.cmake")
+include("/root/repo/build/tests/test_pu_spmv[1]_include.cmake")
+include("/root/repo/build/tests/test_dram_timing_checker[1]_include.cmake")
+include("/root/repo/build/tests/test_memory_map[1]_include.cmake")
+include("/root/repo/build/tests/test_pu_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_solver[1]_include.cmake")
+include("/root/repo/build/tests/test_sparse_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_cli[1]_include.cmake")
+include("/root/repo/build/tests/test_fault_injection[1]_include.cmake")
+include("/root/repo/build/tests/test_examples[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/menda_sim_cli.dir/menda_sim.cpp.o"
+  "CMakeFiles/menda_sim_cli.dir/menda_sim.cpp.o.d"
+  "menda_sim"
+  "menda_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/menda_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
