@@ -53,6 +53,11 @@ main(int argc, char **argv)
 
     core::SystemConfig config = nominalSystem();
     config.pu.leaves = scaledLeaves(1024, scale);
+    // Host threads for the MeNDA cycle simulation itself (distinct from
+    // --threads, the simulated CPU-baseline thread count). Sharded
+    // per-rank simulation is bit-identical to sequential.
+    config.hostThreads =
+        static_cast<unsigned>(opts.getInt("sim-threads", 1));
     trace::ReplayConfig replay;
     PlotWriter plot(opts, "fig10_speedup");
     plot.series("speedup vs scanTrans / mergeTrans / cuSPARSE");

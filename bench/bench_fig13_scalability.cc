@@ -7,9 +7,19 @@
  * Expected shape (Sec. 6.5): throughput scales ~linearly with channels;
  * execution time tracks NNZ (N1-N4) and stays flat for equal-NNZ
  * matrices (N5-N8) except where an extra merge iteration is needed.
+ *
+ * Host-side knobs: --threads=N runs the cycle simulation sharded per
+ * rank on N host threads (0 = hardware concurrency; default 1 =
+ * sequential). Simulated results are bit-identical either way; only
+ * wall-clock changes. Every run also emits BENCH_fig13.json
+ * (--bench-json=PATH overrides the location) with wall-clock and
+ * simulated-cycle numbers so the perf trajectory is machine-trackable.
  */
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <thread>
 
 #include "bench_util.hh"
 #include "sparse/workloads.hh"
@@ -23,13 +33,26 @@ main(int argc, char **argv)
     Options opts;
     opts.parse(argc, argv);
     const std::uint64_t scale = opts.scale();
+    const unsigned threads =
+        static_cast<unsigned>(opts.getInt("threads", 1));
 
     banner("Figure 13: scalability with channels (scale 1/" +
-           std::to_string(scale) + ")");
+           std::to_string(scale) + ", " + std::to_string(threads) +
+           " host thread(s))");
     PlotWriter plot(opts, "fig13_scalability");
-    std::printf("%-6s %10s | %12s %14s | %6s %9s\n", "Matrix", "Channels",
-                "ExecTime(ms)", "Thrpt(MNNZ/s)", "Iters",
-                "BusUtil");
+    std::printf("%-6s %10s | %12s %14s | %6s %9s | %10s\n", "Matrix",
+                "Channels", "ExecTime(ms)", "Thrpt(MNNZ/s)", "Iters",
+                "BusUtil", "Wall(ms)");
+
+    std::ofstream json(opts.get("bench-json", "BENCH_fig13.json"));
+    // Record the host parallelism actually available: wall-clock speedup
+    // from --threads is bounded by it (a 1-core container can only show
+    // the sharded path's early-termination win, not thread scaling).
+    json << "{\"bench\":\"fig13_scalability\",\"scale\":" << scale
+         << ",\"hostThreads\":" << threads << ",\"hwConcurrency\":"
+         << std::thread::hardware_concurrency() << ",\"runs\":[";
+    bool first_run = true;
+    double wall_total_ms = 0.0;
 
     for (const auto &spec : sparse::table3Uniform()) {
         sparse::CsrMatrix a = sparse::makeWorkload(spec, scale);
@@ -37,23 +60,54 @@ main(int argc, char **argv)
         for (unsigned channels : {1u, 2u, 4u}) {
             core::SystemConfig config = channelSystem(channels);
             config.pu.leaves = scaledLeaves(1024, scale);
+            config.hostThreads = threads;
             core::MendaSystem sys(config);
+            const auto wall_start = std::chrono::steady_clock::now();
             core::TransposeResult result = sys.transpose(a);
-            std::printf("%-6s %10u | %12.3f %14.1f | %6u %8.1f%%\n",
+            const double wall_ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count();
+            wall_total_ms += wall_ms;
+            std::printf("%-6s %10u | %12.3f %14.1f | %6u %8.1f%% | "
+                        "%10.1f\n",
                         spec.name.c_str(), channels,
                         result.seconds * 1e3,
                         result.throughputNnzPerSec(a.nnz()) / 1e6,
                         result.iterations,
-                        result.busUtilization * 100.0);
+                        result.busUtilization * 100.0, wall_ms);
             plot.point(channels,
                        result.throughputNnzPerSec(a.nnz()) / 1e6);
+            json << (first_run ? "" : ",") << "\n  {\"matrix\":\""
+                 << spec.name << "\",\"channels\":" << channels
+                 << ",\"pus\":" << config.totalPus()
+                 << ",\"nnz\":" << a.nnz();
+            char buf[160];
+            std::snprintf(buf, sizeof(buf),
+                          ",\"wallMs\":%.3f,\"simSeconds\":%.9g,"
+                          "\"puCycles\":%llu,\"iterations\":%u,"
+                          "\"readBlocks\":%llu,\"writeBlocks\":%llu}",
+                          wall_ms, result.seconds,
+                          (unsigned long long)result.puCycles,
+                          result.iterations,
+                          (unsigned long long)result.readBlocks,
+                          (unsigned long long)result.writeBlocks);
+            json << buf;
+            first_run = false;
         }
     }
+    char total_buf[64];
+    std::snprintf(total_buf, sizeof(total_buf), "%.3f", wall_total_ms);
+    json << "\n],\"wallTotalMs\":" << total_buf << "}\n";
     plot.script("Fig. 13: throughput vs channels",
                 "set xlabel 'channels'\nset ylabel 'MNNZ/s'\n"
                 "plot for [i=0:7] datafile index i with linespoints "
                 "title columnheader(1)");
     std::printf("\nNote: a merge tree of %u leaves (nominal 1024 scaled "
                 "with the matrices)\n", scaledLeaves(1024, scale));
+    std::printf("Host wall-clock total: %.1f ms on %u thread(s) "
+                "(%u hardware threads available)\n",
+                wall_total_ms, threads,
+                std::thread::hardware_concurrency());
     return 0;
 }

@@ -10,6 +10,12 @@ StatGroup::add(const std::string &stat_name, const Counter &counter)
 }
 
 void
+StatGroup::add(const std::string &stat_name, const AtomicCounter &counter)
+{
+    atomics_.emplace_back(stat_name, &counter);
+}
+
+void
 StatGroup::add(const std::string &stat_name, double *value)
 {
     scalars_.emplace_back(stat_name, value);
@@ -26,6 +32,9 @@ StatGroup::collect() const
 {
     std::map<std::string, double> out;
     for (const auto &[stat_name, counter] : counters_)
+        out[name_ + "." + stat_name] =
+            static_cast<double>(counter->value());
+    for (const auto &[stat_name, counter] : atomics_)
         out[name_ + "." + stat_name] =
             static_cast<double>(counter->value());
     for (const auto &[stat_name, value] : scalars_)

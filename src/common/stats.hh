@@ -5,11 +5,19 @@
  * Simulator components own Counter/Scalar statistics and register them in a
  * StatGroup so harnesses can dump name → value tables without knowing the
  * component internals.
+ *
+ * Threading contract: Counter and StatGroup are deliberately unsynchronized
+ * — every counter is owned by exactly one simulation shard and is only read
+ * from other threads after the shard's host thread has been joined (the
+ * join is the publication point; see sim/parallel.hh). Statistics that are
+ * genuinely updated from several live threads at once (e.g. thread-pool
+ * bookkeeping) use AtomicCounter instead.
  */
 
 #ifndef MENDA_COMMON_STATS_HH
 #define MENDA_COMMON_STATS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <ostream>
@@ -19,7 +27,7 @@
 namespace menda
 {
 
-/** A named 64-bit event counter. */
+/** A named 64-bit event counter. Single-writer (see file header). */
 class Counter
 {
   public:
@@ -36,6 +44,30 @@ class Counter
 };
 
 /**
+ * A 64-bit event counter safe to bump from concurrently running host
+ * threads. Relaxed ordering: counts are totals, not synchronization.
+ */
+class AtomicCounter
+{
+  public:
+    AtomicCounter() = default;
+
+    void increment(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/**
  * A flat registry of statistics belonging to one component instance.
  * Children may be attached to build hierarchical names ("pu0.tree.pops").
  */
@@ -46,6 +78,9 @@ class StatGroup
 
     /** Register a counter under @p stat_name. The counter must outlive us. */
     void add(const std::string &stat_name, const Counter &counter);
+
+    /** Register a thread-safe counter under @p stat_name. */
+    void add(const std::string &stat_name, const AtomicCounter &counter);
 
     /** Register a derived (computed on demand) floating point stat. */
     void add(const std::string &stat_name, double *value);
@@ -67,6 +102,7 @@ class StatGroup
   private:
     std::string name_;
     std::vector<std::pair<std::string, const Counter *>> counters_;
+    std::vector<std::pair<std::string, const AtomicCounter *>> atomics_;
     std::vector<std::pair<std::string, const double *>> scalars_;
     std::vector<const StatGroup *> children_;
 };

@@ -72,6 +72,22 @@ MemoryController::idle() const
            pendingResponses_.empty();
 }
 
+Cycle
+MemoryController::quiescentFor() const
+{
+    if (!idle())
+        return 0;
+    Cycle window = ~Cycle(0);
+    if (config_.refreshEnabled) {
+        for (const RankState &rank : ranks_) {
+            if (rank.refreshing || now_ >= rank.nextRefresh)
+                return 0;
+            window = std::min(window, rank.nextRefresh - now_);
+        }
+    }
+    return window;
+}
+
 void
 MemoryController::tick()
 {

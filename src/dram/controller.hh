@@ -92,6 +92,17 @@ class MemoryController : public Ticked
 
     void tick() override;
 
+    /**
+     * Idle-skip protocol: with no request queued, in flight, or awaiting
+     * delivery, a tick only advances the cycle counter — unless a
+     * refresh epoch is near, so the skippable window is bounded by the
+     * earliest tREFI deadline (and is zero while a REF is in progress).
+     * Bank/bus timing state is untouched during such windows, which is
+     * what makes the O(1) catch-up in skipCycles() exact.
+     */
+    Cycle quiescentFor() const override;
+    void skipCycles(Cycle cycles) override { now_ += cycles; }
+
     // --- observability ---
     Cycle curCycle() const { return now_; }
     const DramConfig &config() const { return config_; }

@@ -89,6 +89,20 @@ class Pu : public Ticked
 
     void tick() override;
 
+    /**
+     * Idle-skip protocol: before start() and after completion tick() is
+     * a pure no-op (the cycle counter does not advance either), so those
+     * phases may be skipped indefinitely; a running or draining PU does
+     * work every cycle and stays densely ticked. The default no-op
+     * skipCycles() is exactly right for the skippable phases.
+     */
+    Cycle
+    quiescentFor() const override
+    {
+        return phase_ == Phase::Idle || phase_ == Phase::Done ? ~Cycle(0)
+                                                              : 0;
+    }
+
     // --- results ---
     /** Transposed slice in CSC, row indices global. Valid once done. */
     const sparse::CscMatrix &resultCsc() const { return resultCsc_; }

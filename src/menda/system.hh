@@ -40,6 +40,18 @@ struct SystemConfig
      */
     bool rowPartitioning = false;
 
+    /**
+     * Host worker threads for the cycle simulation itself. PUs never
+     * communicate during a pass (Sec. 3.5), so with hostThreads > 1
+     * every (PU, controller) pair runs on its own TickScheduler shard
+     * across a thread pool and the shards are joined before the
+     * merge/collect phase; 0 picks the hardware concurrency. With the
+     * default of 1 the legacy single-scheduler sequential path is used.
+     * Results (outputs, counters, simulated time) are bit-identical in
+     * every mode.
+     */
+    unsigned hostThreads = 1;
+
     /** One PU per rank. */
     unsigned
     totalPus() const
@@ -125,6 +137,16 @@ class MendaSystem
     template <typename PuVec, typename MemVec>
     void collect(RunResult &result, const PuVec &pus, const MemVec &mems,
                  double seconds);
+
+    /**
+     * Cycle-simulate the constructed (PU, controller) pairs to
+     * completion — sequentially on one shared scheduler, or sharded
+     * per rank across a host thread pool (config_.hostThreads) —
+     * and return the simulated seconds of the slowest PU.
+     */
+    double
+    simulate(std::vector<std::unique_ptr<Pu>> &pus,
+             std::vector<std::unique_ptr<dram::MemoryController>> &mems);
 
     SystemConfig config_;
     std::vector<std::vector<IterationStats>> lastIterStats_;

@@ -44,21 +44,66 @@ TickScheduler::finalize()
     finalized_ = true;
 }
 
+Cycle
+ClockDomain::skippableCycles() const
+{
+    Cycle window = ~Cycle(0);
+    for (const Ticked *component : components_) {
+        window = std::min(window, component->quiescentFor());
+        if (window == 0)
+            return 0;
+    }
+    return window;
+}
+
 void
 TickScheduler::step()
 {
     finalize();
+
+    // Earliest tick at which any domain must do work. A domain whose
+    // components are all quiescent pushes its due time to the end of the
+    // smallest declared window instead of its next period boundary.
     Tick next = ~Tick(0);
-    for (const auto &domain : domains_)
-        next = std::min(next, domain->nextFire_);
+    for (const auto &domain : domains_) {
+        Tick due = domain->nextFire_;
+        const Cycle skip = domain->skippableCycles();
+        if (skip > 0) {
+            const Tick headroom = (~Tick(0) - due) / domain->period_;
+            due += std::min<Tick>(skip, headroom) * domain->period_;
+        }
+        next = std::min(next, due);
+    }
     curTick_ = next;
+
+    // Catch up and fire. A domain whose period boundaries were passed
+    // over while quiescent accounts them via skipCycles() — boundaries
+    // strictly before curTick_ only, so input arriving this tick is never
+    // folded into a skipped window — then ticks if a boundary lands
+    // exactly on curTick_. A domain left mid-period (no coincident
+    // boundary) resyncs just past curTick_ and fires again on its next
+    // boundary, exactly where the dense schedule would tick it.
     for (auto &domain : domains_) {
-        if (domain->nextFire_ != curTick_)
+        if (domain->nextFire_ > curTick_)
             continue;
-        for (Ticked *component : domain->components_)
-            component->tick();
-        ++domain->cycle_;
-        domain->nextFire_ += domain->period_;
+        const Tick behind = curTick_ - domain->nextFire_;
+        const bool fires = behind % domain->period_ == 0;
+        Cycle lag = behind / domain->period_;
+        if (!fires)
+            ++lag;
+        if (lag > 0) {
+            for (Ticked *component : domain->components_)
+                component->skipCycles(lag);
+            domain->cycle_ += lag;
+            domain->nextFire_ += lag * domain->period_;
+            cyclesSkipped_ += lag;
+        }
+        if (fires) {
+            for (Ticked *component : domain->components_)
+                component->tick();
+            ++domain->cycle_;
+            domain->nextFire_ += domain->period_;
+        }
     }
 }
 

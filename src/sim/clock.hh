@@ -8,6 +8,18 @@
  * frequencies; each domain then fires every (base / freq) ticks with zero
  * drift. Components implement Ticked and are ticked in registration order
  * whenever their domain fires.
+ *
+ * Idle-cycle skipping: a component may report quiescence — a window of
+ * upcoming own-clock cycles during which tick() is guaranteed to be a
+ * no-op absent external input (see Ticked::quiescentFor). When every
+ * component of a domain is quiescent the scheduler fast-forwards the
+ * domain to its earliest wake-up instead of spinning through the window
+ * cycle by cycle; skipped cycles are reported back via skipCycles() so
+ * components keep their internal clocks exact. The skipped schedule is
+ * bit-identical to the dense one: a component that becomes active mid
+ * window (e.g. a memory controller receiving a request from its PU) is
+ * caught up and fires again on its next period boundary, exactly where
+ * the dense simulation would have ticked it.
  */
 
 #ifndef MENDA_SIM_CLOCK_HH
@@ -33,6 +45,26 @@ class Ticked
 
     /** Advance this component by one cycle of its clock domain. */
     virtual void tick() = 0;
+
+    /**
+     * Number of upcoming cycles (of this component's domain) for which
+     * tick() is guaranteed to change no observable state, assuming no
+     * external input arrives. 0 means active; the default keeps legacy
+     * components densely ticked. Returning n permits the scheduler to
+     * skip up to n cycles, delivered later through skipCycles(). A
+     * component that can be poked from outside (a request enqueued, a
+     * callback delivered) must tolerate becoming active mid-window: the
+     * cycles skipped so far still count as idle, and it is ticked again
+     * on its next period boundary.
+     */
+    virtual Cycle quiescentFor() const { return 0; }
+
+    /**
+     * Account @p cycles own-domain cycles that elapsed without tick()
+     * being called (all inside a window this component declared via
+     * quiescentFor). Implementations advance internal time in O(1).
+     */
+    virtual void skipCycles(Cycle cycles) { (void)cycles; }
 };
 
 /**
@@ -68,6 +100,9 @@ class ClockDomain
   private:
     friend class TickScheduler;
 
+    /** Cycles every attached component can skip right now (0 = active). */
+    Cycle skippableCycles() const;
+
     std::string name_;
     std::uint64_t freqMhz_;
     Tick period_ = 0;
@@ -101,6 +136,9 @@ class TickScheduler
     /** Simulated seconds elapsed. */
     double seconds() const;
 
+    /** Domain cycles fast-forwarded instead of ticked (all domains). */
+    Cycle cyclesSkipped() const { return cyclesSkipped_; }
+
     /**
      * Run until @p done returns true. The predicate is evaluated after
      * every simulated tick on which at least one domain fired.
@@ -129,6 +167,7 @@ class TickScheduler
     bool finalized_ = false;
     Tick curTick_ = 0;
     std::uint64_t baseMhz_ = 0;
+    Cycle cyclesSkipped_ = 0;
     std::vector<std::unique_ptr<ClockDomain>> domains_;
 };
 

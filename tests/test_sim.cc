@@ -20,6 +20,51 @@ struct CycleCounter : Ticked
     void tick() override { ++count; }
 };
 
+/**
+ * A component that does work every @p stride-th cycle of its domain and
+ * declares the cycles in between quiescent. With `dense` set it never
+ * reports quiescence, giving the exact reference schedule to compare
+ * the fast-forwarded one against.
+ */
+struct StridedWorker : Ticked
+{
+    explicit StridedWorker(Cycle stride, bool dense = false)
+        : stride_(stride), dense_(dense)
+    {}
+
+    Cycle cycle = 0;   ///< own-domain cycles elapsed (ticked + skipped)
+    Cycle ticks = 0;   ///< tick() invocations
+    Cycle skipped = 0; ///< cycles delivered via skipCycles()
+    Cycle work = 0;    ///< work items executed (one per stride)
+
+    void
+    tick() override
+    {
+        if (cycle % stride_ == 0)
+            ++work;
+        ++cycle;
+        ++ticks;
+    }
+
+    Cycle
+    quiescentFor() const override
+    {
+        if (dense_)
+            return 0;
+        return cycle % stride_ == 0 ? 0 : stride_ - cycle % stride_;
+    }
+
+    void
+    skipCycles(Cycle cycles) override
+    {
+        cycle += cycles;
+        skipped += cycles;
+    }
+
+    Cycle stride_;
+    bool dense_;
+};
+
 } // namespace
 
 TEST(Clock, TwoDomainsTickAtExactRatio)
@@ -77,6 +122,105 @@ TEST(Clock, SweepFrequenciesStayExact)
         sched.runUntil([&] { return dram_c.count >= 12000; });
         EXPECT_EQ(pu_c.count, mhz * 10) << mhz << " MHz";
     }
+}
+
+TEST(IdleSkip, CoprimeDomainsMatchDenseSchedule)
+{
+    // Two co-prime domains (7 and 11 MHz -> base 77 MHz) where every
+    // component sleeps most cycles. The fast-forwarded schedule must
+    // execute exactly the same work at exactly the same cycle counts as
+    // the dense reference, while actually skipping most ticks.
+    // The stop predicate is phrased in work items (which land on real,
+    // non-skippable ticks), not raw cycle counts: runUntil() evaluates
+    // the predicate between steps, and a skip-mode step fast-forwards
+    // through a whole quiescent window in one jump.
+    auto run = [](bool dense, Cycle &a_work, Cycle &b_work,
+                  Cycle &a_cycles, Cycle &b_cycles, Cycle &a_ticks,
+                  Tick &stop_tick) {
+        TickScheduler sched;
+        auto *da = sched.addDomain("a", 7);
+        auto *db = sched.addDomain("b", 11);
+        StridedWorker a(13, dense), b(29, dense);
+        da->attach(&a);
+        db->attach(&b);
+        sched.runUntil([&] { return a.work >= 54 && b.work >= 38; });
+        EXPECT_EQ(a.cycle, a.ticks + a.skipped);
+        EXPECT_EQ(a.cycle, da->curCycle());
+        EXPECT_EQ(b.cycle, db->curCycle());
+        a_work = a.work;
+        b_work = b.work;
+        a_cycles = a.cycle;
+        b_cycles = b.cycle;
+        a_ticks = a.ticks;
+        stop_tick = sched.curTick();
+    };
+
+    Cycle aw_d, bw_d, ac_d, bc_d, at_d;
+    Tick t_d;
+    run(true, aw_d, bw_d, ac_d, bc_d, at_d, t_d);
+    Cycle aw_s, bw_s, ac_s, bc_s, at_s;
+    Tick t_s;
+    run(false, aw_s, bw_s, ac_s, bc_s, at_s, t_s);
+
+    EXPECT_EQ(aw_s, aw_d);
+    EXPECT_EQ(bw_s, bw_d);
+    EXPECT_EQ(ac_s, ac_d);
+    EXPECT_EQ(bc_s, bc_d);
+    EXPECT_EQ(t_s, t_d) << "both modes must stop on the same tick";
+    EXPECT_EQ(at_d, ac_d) << "dense mode must tick every cycle";
+    EXPECT_LT(at_s, ac_s / 2) << "skip mode must fast-forward";
+}
+
+TEST(IdleSkip, SkippedDomainsKeepExactFrequencyRatio)
+{
+    // The 800:1200 MHz production ratio with both components mostly
+    // quiescent: fast-forwarding must preserve the drift-free ratio.
+    TickScheduler sched;
+    auto *pu = sched.addDomain("pu", 800);
+    auto *dram = sched.addDomain("dram", 1200);
+    StridedWorker a(17), b(23);
+    pu->attach(&a);
+    dram->attach(&b);
+    // Stop on a work item (a real tick): the 522nd lands on DRAM cycle
+    // 23 * 521 = 11983, i.e. base tick 23966 (base = lcm = 2400 MHz,
+    // DRAM period 2, PU period 3).
+    sched.runUntil([&] { return b.work >= 522; });
+    const Tick t = sched.curTick();
+    EXPECT_EQ(t, 23966u);
+    // Cycle counts are exact boundary counts at the stop tick, so the
+    // 800:1200 ratio is drift-free no matter how much was skipped.
+    EXPECT_EQ(b.cycle, t / 2 + 1);
+    EXPECT_EQ(a.cycle, t / 3 + 1);
+    EXPECT_NEAR(sched.seconds(),
+                static_cast<double>(b.cycle) / 1200e6, 2e-9);
+    EXPECT_GT(sched.cyclesSkipped(), 0u);
+}
+
+TEST(IdleSkip, IndefinitelyQuiescentComponentIsNeverTicked)
+{
+    // A done component (quiescentFor ~0ull) must not gate progress; the
+    // active domain drives time and the idle one is only caught up.
+    struct Done : Ticked
+    {
+        Cycle ticks = 0;
+        void tick() override { ++ticks; }
+        Cycle quiescentFor() const override { return ~Cycle(0); }
+    };
+    TickScheduler sched;
+    auto *da = sched.addDomain("a", 3);
+    auto *db = sched.addDomain("b", 5);
+    CycleCounter active;
+    Done done;
+    da->attach(&active);
+    db->attach(&done);
+    sched.runUntil([&] { return active.count >= 300; });
+    EXPECT_EQ(active.count, 300u);
+    // The idle domain only fires where its boundary coincides with a
+    // step the active domain forced (every 15 base ticks here); all
+    // other cycles are fast-forwarded.
+    EXPECT_GE(db->curCycle(), 498u);
+    EXPECT_LE(done.ticks, 100u);
+    EXPECT_LT(done.ticks, db->curCycle() / 2);
 }
 
 TEST(Fifo, PushPopOrder)

@@ -8,6 +8,8 @@
  *   menda_sim sweep     <file.mtx | --workload=NAME> --param=channels|leaves|frequency
  *
  * System flags: --channels --dimms --ranks --leaves --freq
+ *               --threads (host simulation threads; 1 = sequential,
+ *               0 = all hardware threads; results are bit-identical)
  *               --no-prefetch --no-coalescing --no-seamless
  *               --row-partitioning --json
  *
@@ -65,6 +67,8 @@ systemFromFlags(const Options &opts)
     config.pu.requestCoalescing = !opts.has("no-coalescing");
     config.pu.seamlessMerge = !opts.has("no-seamless");
     config.rowPartitioning = opts.has("row-partitioning");
+    config.hostThreads =
+        static_cast<unsigned>(opts.getInt("threads", 1));
     return config;
 }
 
