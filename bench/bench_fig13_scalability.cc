@@ -82,14 +82,23 @@ main(int argc, char **argv)
                  << spec.name << "\",\"channels\":" << channels
                  << ",\"pus\":" << config.totalPus()
                  << ",\"nnz\":" << a.nnz();
-            char buf[160];
+            // Host simulation speed: simulated PU cycles retired per
+            // wall-clock second — the figure of merit the indexed
+            // memory-controller scheduler improves.
+            const double sim_cycles_per_sec =
+                wall_ms > 0.0
+                    ? static_cast<double>(result.puCycles) /
+                          (wall_ms / 1e3)
+                    : 0.0;
+            char buf[224];
             std::snprintf(buf, sizeof(buf),
                           ",\"wallMs\":%.3f,\"simSeconds\":%.9g,"
-                          "\"puCycles\":%llu,\"iterations\":%u,"
+                          "\"puCycles\":%llu,\"simCyclesPerSec\":%.6g,"
+                          "\"iterations\":%u,"
                           "\"readBlocks\":%llu,\"writeBlocks\":%llu}",
                           wall_ms, result.seconds,
                           (unsigned long long)result.puCycles,
-                          result.iterations,
+                          sim_cycles_per_sec, result.iterations,
                           (unsigned long long)result.readBlocks,
                           (unsigned long long)result.writeBlocks);
             json << buf;

@@ -17,6 +17,7 @@
 
 #include "common/types.hh"
 #include "dram/dram_config.hh"
+#include "mem/request.hh"
 
 namespace menda::dram
 {
@@ -40,26 +41,28 @@ struct DramCoord
 
     bool operator==(const DramCoord &other) const = default;
 
-    /** Pack into a 64-bit hint for caching in queue entries. */
-    std::uint64_t
-    pack() const
+    /**
+     * Cache into a request's decoded-coordinate fields at enqueue, so
+     * scheduler code never re-decodes (or unpacks) an address.
+     */
+    mem::DecodedCoord
+    toDecoded(const DramConfig &config) const
     {
-        return (static_cast<std::uint64_t>(rank) << 48) |
-               (static_cast<std::uint64_t>(bankGroup) << 40) |
-               (static_cast<std::uint64_t>(bank) << 32) |
-               (static_cast<std::uint64_t>(row) << 12) | columnBlock;
+        mem::DecodedCoord decoded;
+        decoded.rank = rank;
+        decoded.bankGroup = bankGroup;
+        decoded.bank = bank;
+        decoded.row = row;
+        decoded.columnBlock = columnBlock;
+        decoded.flatBank = flatBank(config);
+        return decoded;
     }
 
     static DramCoord
-    unpack(std::uint64_t hint)
+    fromDecoded(const mem::DecodedCoord &decoded)
     {
-        DramCoord coord;
-        coord.rank = static_cast<unsigned>(hint >> 48) & 0xff;
-        coord.bankGroup = static_cast<unsigned>(hint >> 40) & 0xff;
-        coord.bank = static_cast<unsigned>(hint >> 32) & 0xff;
-        coord.row = static_cast<unsigned>(hint >> 12) & 0xfffff;
-        coord.columnBlock = static_cast<unsigned>(hint) & 0xfff;
-        return coord;
+        return DramCoord{decoded.rank, decoded.bankGroup, decoded.bank,
+                         decoded.row, decoded.columnBlock};
     }
 };
 

@@ -12,6 +12,16 @@
  * instantiates a single-rank controller (the rank-internal bus that NMP
  * exposes); host-style simulations instantiate one controller per channel
  * with several ranks sharing the bus.
+ *
+ * The scheduler is indexed (see DESIGN.md §8): requests are bucketed per
+ * flat bank at enqueue, per-bank open-row-hit counts are maintained
+ * incrementally, and a ready-bank index keyed by each bank's earliest
+ * next-eligible cycle lets pickAndIssue touch only banks that might accept
+ * a command this cycle — a few integer compares per cycle instead of a
+ * linear rescan of every queue entry and its DRAM timing state. The
+ * original scan-based scheduler survives
+ * behind DramConfig::referenceScheduler as a differential-testing oracle;
+ * both produce bit-identical command streams, counters, and responses.
  */
 
 #ifndef MENDA_DRAM_CONTROLLER_HH
@@ -21,6 +31,7 @@
 #include <deque>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.hh"
@@ -93,12 +104,17 @@ class MemoryController : public Ticked
     void tick() override;
 
     /**
-     * Idle-skip protocol: with no request queued, in flight, or awaiting
-     * delivery, a tick only advances the cycle counter — unless a
-     * refresh epoch is near, so the skippable window is bounded by the
-     * earliest tREFI deadline (and is zero while a REF is in progress).
-     * Bank/bus timing state is untouched during such windows, which is
-     * what makes the O(1) catch-up in skipCycles() exact.
+     * Idle-skip protocol: a tick is a guaranteed no-op until the
+     * earliest of (a) the next read-response delivery, (b) the next
+     * refresh deadline (tREFI epoch start, or tRFC completion while a
+     * REF is in progress), and (c) the ready-bank index's earliest
+     * next-eligible cycle for every queue the scheduler would consult —
+     * so a controller with queued-but-ineligible requests (banks waiting
+     * out tRCD, tRC, tRFC, ...) reports a non-zero skippable window
+     * instead of rescanning every cycle. Bank/bus timing state is
+     * untouched during such windows, which is what makes the O(1)
+     * catch-up in skipCycles() exact. The reference-scheduler oracle
+     * keeps the legacy behavior (only a fully idle controller skips).
      */
     Cycle quiescentFor() const override;
     void skipCycles(Cycle cycles) override { now_ += cycles; }
@@ -150,16 +166,49 @@ class MemoryController : public Ticked
 
     struct RankState
     {
-        std::deque<Cycle> actWindow; ///< last ACT times for tFAW
-        Cycle nextActAny = 0;        ///< tRRDS
+        /**
+         * Ring of the last (up to) four ACT times: tFAW constrains the
+         * fifth activate against the fourth-most-recent, so nothing
+         * older is ever consulted. Fixed-size, no per-ACT allocation.
+         */
+        Cycle actRing[4] = {0, 0, 0, 0};
+        unsigned actCount = 0; ///< valid entries, saturates at 4
+        unsigned actHead = 0;  ///< index of the oldest valid entry
+        Cycle nextActAny = 0;  ///< tRRDS
         std::vector<Cycle> nextActGroup; ///< tRRDL, per bank group
         Cycle nextRefresh = 0;
         bool refreshing = false;
         Cycle refreshDone = 0;
     };
 
+    /**
+     * Per-scheduled-queue bank bookkeeping for the indexed scheduler:
+     * an intrusive FIFO of queue slots per flat bank (age order within
+     * the bank), a compact list of banks that hold requests, and one
+     * earliest-next-eligible key per bank. Keys are lower bounds built
+     * from monotonically non-decreasing timing state, updated in place
+     * (O(1), no reordering cost): a stale key is only ever stale
+     * *early*, so the scheduler re-evaluates that bank and tightens the
+     * key, never misses it. The number of live banks is bounded by the
+     * queue capacity, so the per-cycle ready scan is a handful of
+     * integer compares instead of a linear walk over every queued
+     * request and its DRAM state.
+     */
+    struct BankIndex
+    {
+        static constexpr Cycle kNoKey = ~Cycle(0);
+
+        std::vector<std::uint32_t> head, tail; ///< per flat bank
+        std::vector<std::uint32_t> next, prev; ///< per queue slot
+        std::vector<Cycle> key;     ///< per flat bank; kNoKey when empty
+        std::vector<unsigned> live; ///< banks holding >= 1 request
+        std::vector<std::uint32_t> livePos; ///< fb -> index into live
+    };
+
     // Scheduling.
     bool pickAndIssue(mem::RequestQueue &queue, bool is_write);
+    bool pickAndIssueReference(mem::RequestQueue &queue, bool is_write);
+    bool pickAndIssueIndexed(mem::RequestQueue &queue, bool is_write);
     bool tryIssueFor(const mem::MemRequest &req, bool is_write,
                      bool hits_only, bool &served);
     void issueActivate(const DramCoord &coord);
@@ -169,6 +218,7 @@ class MemoryController : public Ticked
     void maybeRefresh();
 
     void recountOpenRowWaiters(const DramCoord &coord);
+    void recountBankWaiters(unsigned fb);
 
     /** Per-flat-bank count of queued requests hitting the open row. */
     std::vector<std::uint32_t> &
@@ -176,11 +226,44 @@ class MemoryController : public Ticked
     {
         return is_write ? openRowHitsWrite_ : openRowHitsRead_;
     }
+    const std::vector<std::uint32_t> &
+    openRowWaiters(bool is_write) const
+    {
+        return is_write ? openRowHitsWrite_ : openRowHitsRead_;
+    }
+
+    // Indexed-scheduler bookkeeping.
+    BankIndex &bankIndex(bool is_write)
+    {
+        return is_write ? writeIndex_ : readIndex_;
+    }
+    const mem::RequestQueue &queueFor(bool is_write) const
+    {
+        return is_write ? writeQueue_ : readQueue_;
+    }
+    void linkSlot(BankIndex &index, unsigned fb, std::uint32_t slot);
+    void unlinkSlot(BankIndex &index, unsigned fb, std::uint32_t slot);
+    Cycle bankEligibleAt(bool is_write, unsigned fb) const;
+    void rekeyBank(bool is_write, unsigned fb, Cycle floor);
+    void rekeyRankBanks(unsigned rank);
+    bool willDrainWrites() const;
+    Cycle indexWindow(const BankIndex &index) const;
+
+    unsigned rankOf(unsigned fb) const
+    {
+        return fb / (config_.bankGroups * config_.banksPerGroup);
+    }
+    /** Flattened (rank, bank group) index used by the tCCD_L tables. */
+    unsigned groupIndexOf(unsigned fb) const
+    {
+        return fb / config_.banksPerGroup;
+    }
 
     bool canActivate(const DramCoord &coord) const;
+    bool canActivateAt(unsigned fb) const;
     bool canPrecharge(const Bank &bank) const;
-    bool canRead(const Bank &bank, const DramCoord &coord) const;
-    bool canWrite(const Bank &bank, const DramCoord &coord) const;
+    bool canRead(const Bank &bank, unsigned group_index) const;
+    bool canWrite(const Bank &bank, unsigned group_index) const;
 
     Bank &bankAt(const DramCoord &coord)
     {
@@ -209,6 +292,11 @@ class MemoryController : public Ticked
     std::vector<RankState> ranks_;
     std::vector<std::uint32_t> openRowHitsRead_;
     std::vector<std::uint32_t> openRowHitsWrite_;
+
+    BankIndex readIndex_;
+    BankIndex writeIndex_;
+    std::vector<unsigned> scratchBanks_;  ///< ready banks, this cycle
+    std::vector<unsigned> scratchRekeys_; ///< timing-blocked, re-key late
 
     // Bus-level constraints (shared across ranks on this controller).
     Cycle nextReadCmd_ = 0;

@@ -81,6 +81,15 @@ struct DramConfig
     unsigned writeLowWatermark = 8;   ///< stop draining writes
     bool refreshEnabled = true;
 
+    /**
+     * Schedule with the original per-cycle linear queue scans instead of
+     * the indexed per-bank structures. Both implement the same
+     * FRFCFS_PriorHit policy and must produce bit-identical command
+     * streams; the scan path is kept as a differential-testing oracle
+     * (test_dram_sched_diff), not for production use.
+     */
+    bool referenceScheduler = false;
+
     /** Total banks visible to this controller. */
     unsigned totalBanks() const { return ranks * bankGroups * banksPerGroup; }
 

@@ -26,6 +26,22 @@ enum class Stream : std::uint8_t
     Output,       ///< output CSC / vector store
 };
 
+/**
+ * DRAM coordinates of a block address, decoded once at enqueue by the
+ * memory controller and carried in the request so scheduler scans never
+ * re-decode (or re-unpack) the address. Kept as plain integers here so
+ * mem/ stays independent of dram/; dram::DramCoord converts losslessly.
+ */
+struct DecodedCoord
+{
+    std::uint32_t rank = 0;
+    std::uint32_t bankGroup = 0;
+    std::uint32_t bank = 0;
+    std::uint32_t row = 0;
+    std::uint32_t columnBlock = 0;
+    std::uint32_t flatBank = 0; ///< bank id flattened across ranks/groups
+};
+
 /** A 64 B block load or store. */
 struct MemRequest
 {
@@ -36,12 +52,8 @@ struct MemRequest
     std::uint64_t id = 0;   ///< unique tag assigned at enqueue
     std::uint32_t coalesced = 0; ///< additional requesters merged in
 
-    /**
-     * Opaque slot for the memory controller: the decoded DRAM
-     * coordinates are cached here at enqueue so scheduler scans do not
-     * re-decode the address every cycle.
-     */
-    std::uint64_t decodeHint = 0;
+    /** Filled by the memory controller at enqueue (see DecodedCoord). */
+    DecodedCoord coord;
 };
 
 /** Delivered to the PU when a read completes (writes complete silently). */

@@ -6,42 +6,88 @@ namespace menda::mem
 {
 
 RequestQueue::RequestQueue(std::size_t entries, bool coalesce)
-    : entries_(entries), coalesce_(coalesce)
+    : entries_(entries), coalesce_(coalesce), slots_(entries)
 {
     menda_assert(entries > 0, "request queue needs at least one entry");
+    menda_assert(entries < npos, "request queue capacity too large");
+    freeList_.reserve(entries);
+    for (std::uint32_t s = static_cast<std::uint32_t>(entries); s-- > 0;)
+        freeList_.push_back(s);
+    if (coalesce_)
+        readSlotByAddr_.reserve(entries);
 }
 
-bool
-RequestQueue::enqueue(const MemRequest &req)
+RequestQueue::Insert
+RequestQueue::insert(const MemRequest &req, std::uint32_t &slot_out)
 {
     menda_assert(req.addr == blockAlign(req.addr),
                  "requests must be block aligned");
     if (coalesce_ && !req.isWrite) {
-        // Parallel address match against every occupied slot.
-        for (MemRequest &slot : queue_) {
-            if (!slot.isWrite && slot.addr == req.addr) {
-                ++slot.coalesced;
-                ++coalescedHits_;
-                return true;
-            }
+        // CAM address match against the occupied read slots.
+        auto match = readSlotByAddr_.find(req.addr);
+        if (match != readSlotByAddr_.end()) {
+            ++slots_[match->second].req.coalesced;
+            ++coalescedHits_;
+            slot_out = match->second;
+            return Insert::Merged;
         }
     }
-    if (full())
-        return false;
-    MemRequest accepted = req;
-    accepted.id = nextId_++;
-    queue_.push_back(accepted);
+    if (full()) {
+        slot_out = npos;
+        return Insert::Rejected;
+    }
+    const std::uint32_t slot = freeList_.back();
+    freeList_.pop_back();
+    Slot &entry = slots_[slot];
+    entry.req = req;
+    entry.req.id = nextId_++;
+    entry.prev = tail_;
+    entry.next = npos;
+    if (tail_ != npos)
+        slots_[tail_].next = slot;
+    else
+        head_ = slot;
+    tail_ = slot;
+    ++size_;
+    if (coalesce_ && !req.isWrite)
+        readSlotByAddr_.emplace(req.addr, slot);
     ++enqueued_;
-    return true;
+    slot_out = slot;
+    return Insert::Fresh;
 }
 
 MemRequest
-RequestQueue::remove(std::size_t i)
+RequestQueue::removeSlot(std::uint32_t slot)
 {
-    menda_assert(i < queue_.size(), "request queue remove out of range");
-    MemRequest req = queue_[i];
-    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
-    return req;
+    menda_assert(slot < slots_.size() && size_ > 0,
+                 "request queue remove out of range");
+    Slot &entry = slots_[slot];
+    if (entry.prev != npos)
+        slots_[entry.prev].next = entry.next;
+    else
+        head_ = entry.next;
+    if (entry.next != npos)
+        slots_[entry.next].prev = entry.prev;
+    else
+        tail_ = entry.prev;
+    if (coalesce_ && !entry.req.isWrite) {
+        auto match = readSlotByAddr_.find(entry.req.addr);
+        if (match != readSlotByAddr_.end() && match->second == slot)
+            readSlotByAddr_.erase(match);
+    }
+    --size_;
+    freeList_.push_back(slot);
+    return entry.req;
+}
+
+std::uint32_t
+RequestQueue::slotOf(std::size_t i) const
+{
+    menda_assert(i < size_, "request queue index out of range");
+    std::uint32_t slot = head_;
+    while (i-- > 0)
+        slot = slots_[slot].next;
+    return slot;
 }
 
 } // namespace menda::mem
