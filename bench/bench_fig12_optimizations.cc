@@ -60,8 +60,9 @@ main(int argc, char **argv)
             sparse::makeWorkload(sparse::findWorkload(name), scale);
         std::printf("\n%s (%u x %u, %lu nnz)\n", name.c_str(), a.rows,
                     a.cols, (unsigned long)a.nnz());
-        std::printf("  %-24s %9s %8s %8s %10s %10s\n", "variant",
-                    "total", "iter0", "iter1+", "rdBlocks", "coalesced");
+        std::printf("  %-24s %9s %8s %8s %10s %10s %8s %9s %9s\n",
+                    "variant", "total", "iter0", "iter1+", "rdBlocks",
+                    "coalesced", "occup", "pushStl", "outStl");
 
         double baseline_cycles = 0.0;
         for (const Variant &variant : variants) {
@@ -88,11 +89,25 @@ main(int argc, char **argv)
                 static_cast<double>(result.puCycles);
             if (baseline_cycles == 0.0)
                 baseline_cycles = total;
-            std::printf("  %-24s %8.3f %8.3f %8.3f %10lu %10lu\n",
+            // Mean packets resident in the merge tree per cycle, plus
+            // leaf back-pressure and output-unit stall cycles: where a
+            // bandwidth optimization helps, occupancy rises (the tree
+            // stays fed) and push stalls track the downstream drain.
+            const double occupancy =
+                total > 0.0
+                    ? static_cast<double>(
+                          result.treeOccupancyPacketCycles) /
+                          (total * config.totalPus())
+                    : 0.0;
+            std::printf("  %-24s %8.3f %8.3f %8.3f %10lu %10lu %8.2f "
+                        "%9lu %9lu\n",
                         variant.label, total / baseline_cycles,
                         it0 / baseline_cycles, rest / baseline_cycles,
                         (unsigned long)result.readBlocks,
-                        (unsigned long)result.coalescedRequests);
+                        (unsigned long)result.coalescedRequests,
+                        occupancy,
+                        (unsigned long)result.leafPushStallCycles,
+                        (unsigned long)result.outputStallCycles);
         }
     }
     return 0;

@@ -1,0 +1,138 @@
+#include "baselines/spgemm_cpu.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace menda::baselines
+{
+
+namespace
+{
+
+/** Heap entry: the next element of one scaled-B-row stream. */
+struct HeapEntry
+{
+    Index col;           ///< column of the next B element
+    std::uint64_t ord;   ///< stream ordinal (A non-zero index)
+    std::uint64_t pos;   ///< current offset into B's arrays
+    std::uint64_t end;   ///< one past the stream's last element
+    Value scale;         ///< A(i, k)
+};
+
+/** Min-heap on (col, ordinal): the stable-merge pop order of the PU. */
+struct HeapOrder
+{
+    bool
+    operator()(const HeapEntry &x, const HeapEntry &y) const
+    {
+        if (x.col != y.col)
+            return x.col > y.col;
+        return x.ord > y.ord;
+    }
+};
+
+} // namespace
+
+sparse::CsrMatrix
+spgemmHeapMerge(const sparse::CsrMatrix &a, const sparse::CsrMatrix &b,
+                CpuRunResult *timing)
+{
+    menda_assert(a.cols == b.rows, "spgemmHeapMerge: dimension mismatch");
+    const auto start = std::chrono::steady_clock::now();
+
+    sparse::CsrMatrix c;
+    c.rows = a.rows;
+    c.cols = b.cols;
+    c.ptr.assign(static_cast<std::size_t>(a.rows) + 1, 0);
+
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapOrder> heap;
+    for (Index r = 0; r < a.rows; ++r) {
+        // One stream per non-zero of row r, entering in non-zero order:
+        // that ordinal is the tie-break, so equal columns pop in the
+        // same order the PU's stable tree delivers them.
+        for (std::uint64_t e = a.ptr[r]; e < a.ptr[r + 1]; ++e) {
+            const Index k = a.idx[e];
+            if (b.ptr[k] == b.ptr[k + 1])
+                continue;
+            heap.push(HeapEntry{b.idx[b.ptr[k]], e, b.ptr[k],
+                                b.ptr[k + 1], a.val[e]});
+        }
+        while (!heap.empty()) {
+            HeapEntry top = heap.top();
+            heap.pop();
+            // Same product and accumulation arithmetic as the PU:
+            // float multiply at fetch, float left-to-right adds.
+            const Value prod = top.scale * b.val[top.pos];
+            if (c.idx.size() > c.ptr[r] && c.idx.back() == top.col) {
+                c.val.back() += prod;
+            } else {
+                c.idx.push_back(top.col);
+                c.val.push_back(prod);
+            }
+            if (++top.pos < top.end) {
+                top.col = b.idx[top.pos];
+                heap.push(top);
+            }
+        }
+        c.ptr[r + 1] = static_cast<std::uint32_t>(c.idx.size());
+    }
+
+    const auto stop = std::chrono::steady_clock::now();
+    if (timing) {
+        timing->seconds =
+            std::chrono::duration<double>(stop - start).count();
+        timing->threads = 1;
+    }
+    return c;
+}
+
+sparse::CsrMatrix
+spgemmHashAccumulate(const sparse::CsrMatrix &a, const sparse::CsrMatrix &b,
+                     CpuRunResult *timing)
+{
+    menda_assert(a.cols == b.rows,
+                 "spgemmHashAccumulate: dimension mismatch");
+    const auto start = std::chrono::steady_clock::now();
+
+    sparse::CsrMatrix c;
+    c.rows = a.rows;
+    c.cols = b.cols;
+    c.ptr.assign(static_cast<std::size_t>(a.rows) + 1, 0);
+
+    std::unordered_map<Index, double> acc;
+    std::vector<std::pair<Index, double>> sorted;
+    for (Index r = 0; r < a.rows; ++r) {
+        acc.clear();
+        for (std::uint64_t e = a.ptr[r]; e < a.ptr[r + 1]; ++e) {
+            const Index k = a.idx[e];
+            const double scale = a.val[e];
+            for (std::uint64_t p = b.ptr[k]; p < b.ptr[k + 1]; ++p)
+                acc[b.idx[p]] += scale * static_cast<double>(b.val[p]);
+        }
+        sorted.assign(acc.begin(), acc.end());
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const auto &x, const auto &y) {
+                      return x.first < y.first;
+                  });
+        for (const auto &[col, val] : sorted) {
+            c.idx.push_back(col);
+            c.val.push_back(static_cast<Value>(val));
+        }
+        c.ptr[r + 1] = static_cast<std::uint32_t>(c.idx.size());
+    }
+
+    const auto stop = std::chrono::steady_clock::now();
+    if (timing) {
+        timing->seconds =
+            std::chrono::duration<double>(stop - start).count();
+        timing->threads = 1;
+    }
+    return c;
+}
+
+} // namespace menda::baselines

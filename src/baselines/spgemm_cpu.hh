@@ -1,0 +1,51 @@
+/**
+ * @file
+ * CPU SpGEMM baselines for the merge-dataflow comparison (DESIGN.md
+ * Sec. 9).
+ *
+ * Two shapes, mirroring the accelerator-vs-CPU split of the SpGEMM
+ * literature:
+ *
+ *  - spgemmHeapMerge: per output row, a k-way heap merge of the scaled
+ *    B rows selected by that row's A non-zeros (the row-merging
+ *    formulation of Du et al.). Streams enter the heap in A non-zero
+ *    order and ties break on the stream ordinal, so the element order
+ *    — and therefore the left-to-right float accumulation order of
+ *    duplicate (row, col) keys — is IDENTICAL to the PU's stable merge
+ *    tree. This is the value-exact oracle the PU is tested against.
+ *
+ *  - spgemmHashAccumulate: per output row, hash-map accumulation of the
+ *    partial products in double precision, then a column sort (the
+ *    cuSPARSE/Gustavson-style shape). Accumulation order differs, so
+ *    comparisons against it need a tolerance; it doubles as an
+ *    independent numerical cross-check of the merge results.
+ */
+
+#ifndef MENDA_BASELINES_SPGEMM_CPU_HH
+#define MENDA_BASELINES_SPGEMM_CPU_HH
+
+#include "sparse/format.hh"
+#include "baselines/scan_trans.hh" // CpuRunResult
+
+namespace menda::baselines
+{
+
+/**
+ * C = A x B by per-row k-way heap merge of scaled B rows. Bitwise
+ * reference for the MeNDA SpGEMM dataflow.
+ */
+sparse::CsrMatrix spgemmHeapMerge(const sparse::CsrMatrix &a,
+                                  const sparse::CsrMatrix &b,
+                                  CpuRunResult *timing = nullptr);
+
+/**
+ * C = A x B by per-row hash accumulation (double-precision adds) and
+ * column sort. Not bitwise comparable to the merge formulations.
+ */
+sparse::CsrMatrix spgemmHashAccumulate(const sparse::CsrMatrix &a,
+                                       const sparse::CsrMatrix &b,
+                                       CpuRunResult *timing = nullptr);
+
+} // namespace menda::baselines
+
+#endif // MENDA_BASELINES_SPGEMM_CPU_HH

@@ -61,6 +61,22 @@ Context::spmv(MatrixHandle &handle, const std::vector<Value> &x)
 }
 
 void
+Context::spgemm(MatrixHandle &handle, const sparse::CsrMatrix &b)
+{
+    menda_assert(!pending_, "an offload is already in flight");
+    menda_assert(handle.csr_->cols == b.rows,
+                 "spgemm: inner dimension mismatch");
+    for (auto &regs : mmio_) {
+        regs.start = true;
+        regs.finish = false;
+    }
+    pendingOp_ = Op::Spgemm;
+    pendingHandle_ = &handle;
+    pendingB_ = &b;
+    pending_ = true;
+}
+
+void
 Context::wait()
 {
     if (!pending_)
@@ -82,6 +98,12 @@ Context::wait()
             handle.partitions_.push_back(
                 sparse::transposeReference(part));
         }
+    } else if (pendingOp_ == Op::Spgemm) {
+        core::SpgemmResult result =
+            system_.spgemm(*handle.csr_, *pendingB_);
+        lastC_ = std::move(result.c);
+        lastRun_ = result;
+        pendingB_ = nullptr;
     } else {
         core::SpmvResult result = system_.spmv(*handle.csr_, pendingX_);
         lastY_ = std::move(result.y);

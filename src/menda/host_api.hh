@@ -92,6 +92,13 @@ class Context
     /** Launch SpMV on the transposed (partitioned CSC) matrix. */
     void spmv(MatrixHandle &handle, const std::vector<Value> &x);
 
+    /**
+     * Launch SpGEMM C = handle x @p b through the outer-product merge
+     * dataflow (DESIGN.md Sec. 9). @p b must outlive the wait() call;
+     * it is replicated into every rank at offload time.
+     */
+    void spgemm(MatrixHandle &handle, const sparse::CsrMatrix &b);
+
     /** Block until every PU has set its finish signal. */
     void wait();
 
@@ -107,6 +114,9 @@ class Context
     /** SpMV result vector. */
     const std::vector<double> &vectorResult() const { return lastY_; }
 
+    /** SpGEMM result matrix (CSR). */
+    const sparse::CsrMatrix &productResult() const { return lastC_; }
+
     /** Simulated statistics of the last completed offload. */
     const core::RunResult &lastRun() const { return lastRun_; }
 
@@ -119,14 +129,16 @@ class Context
     std::vector<MmioRegisters> mmio_;
 
     // Simulation host: pending offload executed in wait().
-    enum class Op { None, Transpose, Spmv };
+    enum class Op { None, Transpose, Spmv, Spgemm };
     Op pendingOp_ = Op::None;
     bool pending_ = false;
     MatrixHandle *pendingHandle_ = nullptr;
     std::vector<Value> pendingX_;
+    const sparse::CsrMatrix *pendingB_ = nullptr;
 
     core::RunResult lastRun_;
     std::vector<double> lastY_;
+    sparse::CsrMatrix lastC_;
 };
 
 } // namespace menda::nmp

@@ -30,6 +30,9 @@ enum class Region : std::uint8_t
     OutVal,    ///< output CSC values (4 B)
     VecIn,     ///< SpMV input vector x (4 B)
     AuxPtr,    ///< SpMV auxiliary pointer array (Sec. 3.6)
+    BRowPtr,   ///< SpGEMM: replicated B row pointers (4 B)
+    BColIdx,   ///< SpGEMM: replicated B column indices (4 B)
+    BNzVal,    ///< SpGEMM: replicated B values (4 B)
 };
 
 /**
@@ -44,10 +47,14 @@ class PuMemoryMap
     /**
      * Lay out regions for a slice with @p slice_rows rows, @p cols
      * columns, and @p slice_nnz non-zeros, starting at @p base (a
-     * rank-local physical address, typically 0).
+     * rank-local physical address, typically 0). SpGEMM additionally
+     * replicates the second operand B into every rank (PUs never
+     * communicate, Sec. 3.5); its arrays are sized by @p b_rows /
+     * @p b_nnz and stay zero-length for the other dataflows.
      */
     PuMemoryMap(Addr base, std::uint64_t slice_rows, std::uint64_t cols,
-                std::uint64_t slice_nnz)
+                std::uint64_t slice_nnz, std::uint64_t b_rows = 0,
+                std::uint64_t b_nnz = 0)
     {
         // Regions are staggered across DRAM banks (32 KiB steps move
         // the bank bits of the rank's address layout): COO keeps its
@@ -79,6 +86,9 @@ class PuMemoryMap
         outVal_ = place(slice_nnz);
         vecIn_ = place(cols);
         auxPtr_ = place((cols + 1 + 15) / 16);
+        bRowPtr_ = place(b_rows ? b_rows + 1 : 0);
+        bColIdx_ = place(b_nnz);
+        bNzVal_ = place(b_nnz);
         end_ = cursor;
     }
 
@@ -114,6 +124,9 @@ class PuMemoryMap
           case Region::OutVal: return outVal_;
           case Region::VecIn: return vecIn_;
           case Region::AuxPtr: return auxPtr_;
+          case Region::BRowPtr: return bRowPtr_;
+          case Region::BColIdx: return bColIdx_;
+          case Region::BNzVal: return bNzVal_;
         }
         return 0;
     }
@@ -140,6 +153,7 @@ class PuMemoryMap
     Addr cooRow_[2] = {0, 0}, cooCol_[2] = {0, 0}, cooVal_[2] = {0, 0};
     Addr outPtr_ = 0, outIdx_ = 0, outVal_ = 0;
     Addr vecIn_ = 0, auxPtr_ = 0;
+    Addr bRowPtr_ = 0, bColIdx_ = 0, bNzVal_ = 0;
     Addr end_ = 0;
 };
 

@@ -37,6 +37,7 @@ MergeTree::push(unsigned slot, const Packet &packet)
     menda_assert(canPush(slot), "push to full stream slot");
     const unsigned pe = leaves_ / 2 - 1 + slot / 2;
     pes_[pe].in[slot % 2].push(packet);
+    ++buffered_;
     schedule(pe);
 }
 
@@ -44,6 +45,7 @@ Packet
 MergeTree::pop()
 {
     Packet packet = rootOut_.pop();
+    --buffered_;
     if (packet.valid)
         ++rootPops_;
     if (packet.eol)
@@ -99,6 +101,7 @@ MergeTree::evaluate(unsigned pe)
             menda_assert(node.in[side].front().eol,
                          "invalid packet without EOL");
             node.in[side].pop();
+            --buffered_;
             node.terminated[side] = true;
             noteLeafPop(pe, side);
             changed = true;
@@ -119,6 +122,7 @@ MergeTree::evaluate(unsigned pe)
         // Both streams of this round were empty (or ended on absorbed
         // tokens): propagate a pure end-of-line and start the next round.
         out.push(Packet::endOfLine());
+        ++buffered_;
         node.terminated[0] = node.terminated[1] = false;
         return true;
     }
@@ -133,8 +137,8 @@ MergeTree::evaluate(unsigned pe)
     if (have[0] && have[1]) {
         // Tie pops the LEFT child: stability keeps equal merge indices in
         // leaf order, i.e. ascending secondary index.
-        side = mergeIndex(node.in[0].front(), key_) <=
-                       mergeIndex(node.in[1].front(), key_)
+        side = mergeKey(node.in[0].front(), key_) <=
+                       mergeKey(node.in[1].front(), key_)
                    ? 0
                    : 1;
     } else {
@@ -168,6 +172,7 @@ void
 MergeTree::tick()
 {
     freedSlots_.clear();
+    occupancyCycles_ += buffered_;
     if (rootOut_.empty())
         ++rootIdle_;
     ++epoch_;

@@ -81,6 +81,17 @@ class MergeTree
     /** Cycles on which the root FIFO had no packet ready. */
     std::uint64_t rootIdleCycles() const { return rootIdle_.value(); }
 
+    /**
+     * Sum over ticks of the packets buffered anywhere in the tree
+     * (PE FIFOs + root FIFO). Divided by the PU cycle count this gives
+     * the mean tree occupancy in packets — the utilization figure the
+     * Fig. 12 ablation bench reports next to the stall counters.
+     */
+    std::uint64_t occupancyPacketCycles() const
+    {
+        return occupancyCycles_.value();
+    }
+
     void
     registerStats(StatGroup &group) const
     {
@@ -88,6 +99,7 @@ class MergeTree
         group.add("tree.rounds", roundsDone_);
         group.add("tree.rootIdleCycles", rootIdle_);
         group.add("tree.peMoves", peMoves_);
+        group.add("tree.occupancyPacketCycles", occupancyCycles_);
     }
 
   private:
@@ -125,7 +137,8 @@ class MergeTree
     std::vector<std::uint64_t> scheduledEpoch_;
     std::uint64_t epoch_ = 1;
 
-    Counter rootPops_, roundsDone_, rootIdle_, peMoves_;
+    Counter rootPops_, roundsDone_, rootIdle_, peMoves_, occupancyCycles_;
+    std::uint64_t buffered_ = 0; ///< packets currently in any FIFO
 };
 
 } // namespace menda::core

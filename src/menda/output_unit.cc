@@ -42,7 +42,10 @@ OutputUnit::beginIteration(OutputMode mode, int dst_coo,
         valSink_ = {map_->cooVal(dst_coo), 0};
         break;
       case OutputMode::CscFinal:
-        // CSC index array holds row indices.
+      case OutputMode::CsrFinal:
+        // Index array holds row indices (CSC) or column indices (CSR);
+        // either way one idx + one val element per merged non-zero and
+        // an on-the-fly synthesized pointer array.
         colSink_ = {Region::OutIdx, 0};
         valSink_ = {Region::OutVal, 0};
         ptrSink_ = {Region::OutPtr, 0};
@@ -123,6 +126,14 @@ OutputUnit::accept(const Packet &packet)
             append(colSink_, 1);
             append(valSink_, 1);
             break;
+          case OutputMode::CsrFinal:
+            // SpGEMM final: packets arrive in (row, col) order, so the
+            // ROW index drives the pointer synthesis. totalCols_ holds
+            // the slice's row count here.
+            advancePointer(packet.row);
+            append(colSink_, 1);
+            append(valSink_, 1);
+            break;
           case OutputMode::PairIntermediate:
             append(rowSink_, 1);
             append(valSink_, 1);
@@ -160,7 +171,9 @@ OutputUnit::finishIteration()
         flush(valSink_);
         break;
       case OutputMode::CscFinal:
-        // Trailing pointer entries for columns past the last non-zero.
+      case OutputMode::CsrFinal:
+        // Trailing pointer entries for columns (rows) past the last
+        // non-zero.
         append(ptrSink_, totalCols_ + 1 - nextPtrEntry_);
         nextPtrEntry_ = totalCols_ + 1;
         flush(ptrSink_);

@@ -32,10 +32,11 @@ namespace menda::core
 /** What one iteration writes back to memory. */
 enum class OutputMode : std::uint8_t
 {
-    CooIntermediate,  ///< transposition, more iterations follow
+    CooIntermediate,  ///< transposition/SpGEMM, more iterations follow
     CscFinal,         ///< transposition, last iteration (ptr/idx/val)
     PairIntermediate, ///< SpMV, (index, value) pairs
     DenseFinal,       ///< SpMV, dense result vector
+    CsrFinal,         ///< SpGEMM, last iteration: row-pointer synthesis
 };
 
 /** Functional sink for merged non-zeros. */
@@ -105,6 +106,9 @@ class OutputUnit
 
     std::uint64_t elementsOut() const { return elementsOut_.value(); }
     std::uint64_t storesQueued() const { return stores_.value(); }
+
+    /** Cycles the root had data while this unit was back-pressured. */
+    std::uint64_t stallCycles() const { return stalls_.value(); }
 
     void
     registerStats(StatGroup &group) const

@@ -42,18 +42,29 @@ struct Packet
  * Merge order: transposition compares column indices (the output is
  * sorted by column); ties must pop the LEFT child so the merge is stable
  * and equal columns stay ordered by row. SpMV compares row indices.
+ * SpGEMM compares the lexicographic (row, col) pair so one merge pass
+ * sorts all partial products of a rank's row slice into CSR order.
  */
 enum class MergeKey : std::uint8_t
 {
     Column, ///< transposition
     Row,    ///< SpMV reduction dataflow
+    RowCol, ///< SpGEMM partial-product merge
 };
 
-/** The index the tree comparators look at under @p key. */
-constexpr Index
-mergeIndex(const Packet &p, MergeKey key)
+/** The key the tree comparators look at under @p key. */
+constexpr std::uint64_t
+mergeKey(const Packet &p, MergeKey key)
 {
-    return key == MergeKey::Column ? p.col : p.row;
+    switch (key) {
+    case MergeKey::Column:
+        return p.col;
+    case MergeKey::Row:
+        return p.row;
+    case MergeKey::RowCol:
+    default:
+        return (static_cast<std::uint64_t>(p.row) << 32) | p.col;
+    }
 }
 
 } // namespace menda::core

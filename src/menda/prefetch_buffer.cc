@@ -126,6 +126,15 @@ PrefetchBuffer::maybeStartChunk()
             chunk_.blocksToIssue.push_back(
                 map_->blockOf(map_->cooVal(desc.cooBuffer), elem));
             break;
+          case StreamSource::ScaledBRow:
+            // SpGEMM partial product: the stream is a row of the
+            // replicated B operand; the scaling factor A(i, k) rode in
+            // with the stream descriptor, so only B's arrays are read.
+            chunk_.blocksToIssue.push_back(
+                map_->blockOf(Region::BColIdx, elem));
+            chunk_.blocksToIssue.push_back(
+                map_->blockOf(Region::BNzVal, elem));
+            break;
         }
     }
     occupancy_ += static_cast<unsigned>(count);

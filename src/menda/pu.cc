@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "spgemm/plan.hh"
 
 namespace menda::core
 {
@@ -14,23 +15,9 @@ constexpr std::uint32_t controllerRequester = 0xffffffffu;
 
 } // namespace
 
-Pu::Pu(std::string name, const PuConfig &config,
-       const sparse::CsrMatrix *slice, Index row_offset,
-       dram::MemoryController *mem)
-    : name_(std::move(name)),
-      config_(config),
-      mode_(PuMode::Transpose),
-      csr_(slice),
-      rowOffset_(row_offset),
-      map_(0, slice->rows, slice->cols, slice->nnz()),
-      mem_(mem),
-      tree_(config, MergeKey::Column),
-      output_(config_, &map_),
-      stats_(name_)
+void
+Pu::commonInit()
 {
-    for (Index r = 0; r < csr_->rows; ++r)
-        if (csr_->ptr[r + 1] > csr_->ptr[r])
-            neRows_.push_back(r);
     buffers_.reserve(config_.leaves);
     for (unsigned slot = 0; slot < config_.leaves; ++slot)
         buffers_.push_back(std::make_unique<PrefetchBuffer>(
@@ -49,8 +36,29 @@ Pu::Pu(std::string name, const PuConfig &config,
     stats_.add("responses", responsesHandled_);
     stats_.add("assignments", assignments_);
     stats_.add("retries", retries_);
+    stats_.add("leafPushStalls", pushStalls_);
     tree_.registerStats(stats_);
     output_.registerStats(stats_);
+}
+
+Pu::Pu(std::string name, const PuConfig &config,
+       const sparse::CsrMatrix *slice, Index row_offset,
+       dram::MemoryController *mem)
+    : name_(std::move(name)),
+      config_(config),
+      mode_(PuMode::Transpose),
+      csr_(slice),
+      rowOffset_(row_offset),
+      map_(0, slice->rows, slice->cols, slice->nnz()),
+      mem_(mem),
+      tree_(config, MergeKey::Column),
+      output_(config_, &map_),
+      stats_(name_)
+{
+    for (Index r = 0; r < csr_->rows; ++r)
+        if (csr_->ptr[r + 1] > csr_->ptr[r])
+            neRows_.push_back(r);
+    commonInit();
 }
 
 Pu::Pu(std::string name, const PuConfig &config,
@@ -77,26 +85,39 @@ Pu::Pu(std::string name, const PuConfig &config,
     for (Index c = 0; c < csc_->cols; ++c)
         if (csc_->ptr[c + 1] > csc_->ptr[c])
             neRows_.push_back(c); // non-empty columns in SpMV mode
-    buffers_.reserve(config_.leaves);
-    for (unsigned slot = 0; slot < config_.leaves; ++slot)
-        buffers_.push_back(std::make_unique<PrefetchBuffer>(
-            slot, config_, &map_,
-            [this](const StreamDesc &desc, std::uint64_t element) {
-                return readElement(desc, element);
-            }));
-    inIssueQueue_.assign(config_.leaves, false);
-    inPushQueue_.assign(config_.leaves, false);
-    inAssignQueue_.assign(config_.leaves, false);
-    mem_->setResponseCallback([this](const mem::MemRequest &req) {
-        responses_.push_back(req);
-    });
-    stats_.add("loads", loads_);
-    stats_.add("stores", stores_);
-    stats_.add("responses", responsesHandled_);
-    stats_.add("assignments", assignments_);
-    stats_.add("retries", retries_);
-    tree_.registerStats(stats_);
-    output_.registerStats(stats_);
+    commonInit();
+}
+
+Pu::Pu(std::string name, const PuConfig &config,
+       const sparse::CsrMatrix *a_slice, const sparse::CsrMatrix *b,
+       Index row_offset, dram::MemoryController *mem)
+    : name_(std::move(name)),
+      config_(config),
+      mode_(PuMode::Spgemm),
+      csr_(a_slice),
+      bMat_(b),
+      rowOffset_(row_offset),
+      // The COO ping-pong buffers and output idx/val arrays hold the
+      // slice's partial products (not A's non-zeros), and the output
+      // pointer array covers the slice's LOCAL rows.
+      map_(0, a_slice->rows,
+           std::max<std::uint64_t>(a_slice->rows, b->cols),
+           std::max<std::uint64_t>(
+               {a_slice->nnz(),
+                spgemm::partialProductCount(*a_slice, *b), 1}),
+           b->rows, b->nnz()),
+      mem_(mem),
+      tree_(config, MergeKey::RowCol),
+      output_(config_, &map_),
+      stats_(name_)
+{
+    menda_assert(a_slice->cols == b->rows,
+                 "SpGEMM inner dimensions must agree");
+    // The controller programming step: one scaled-B-row stream per
+    // non-zero of the A slice, in row-major order (exactness depends on
+    // this ordinal order; DESIGN.md Sec. 9).
+    spgemmStreams_ = spgemm::buildStreams(*a_slice, *b);
+    commonInit();
 }
 
 void
@@ -130,6 +151,12 @@ Pu::readElement(const StreamDesc &desc, std::uint64_t element) const
         return Packet::data(coo.row[element], coo.col[element],
                             coo.val[element], last);
       }
+      case StreamSource::ScaledBRow:
+        // SpGEMM iteration 0: one partial product A(i, k) * B(k, j),
+        // scaled by the multiplier latched in the stream descriptor as
+        // the B element is fetched (the SpMV vectorized-multiply path).
+        return Packet::data(desc.fixedIndex, bMat_->idx[element],
+                            desc.scale * bMat_->val[element], last);
     }
     menda_panic("unreachable stream source");
 }
@@ -139,6 +166,17 @@ Pu::streamForOrdinal(std::uint64_t ordinal) const
 {
     StreamDesc desc;
     if (iteration_ == 0) {
+        if (mode_ == PuMode::Spgemm) {
+            const spgemm::PartialProductStream &s =
+                spgemmStreams_[ordinal];
+            desc.source = StreamSource::ScaledBRow;
+            desc.begin = s.begin;
+            desc.end = s.end;
+            desc.fixedIndex = s.outRow; // local output row
+            desc.scale = s.scale;
+            desc.auxIndex = s.bRow;
+            return desc;
+        }
         const Index line = neRows_[ordinal];
         if (mode_ == PuMode::Transpose) {
             desc.source = StreamSource::CsrRow;
@@ -157,11 +195,19 @@ Pu::streamForOrdinal(std::uint64_t ordinal) const
     return desc;
 }
 
+std::uint64_t
+Pu::streamCount() const
+{
+    if (iteration_ != 0)
+        return streams_.size();
+    return mode_ == PuMode::Spgemm ? spgemmStreams_.size()
+                                   : neRows_.size();
+}
+
 void
 Pu::setupIteration()
 {
-    const std::uint64_t n =
-        iteration_ == 0 ? neRows_.size() : streams_.size();
+    const std::uint64_t n = streamCount();
     roundsTotal_ = (n + config_.leaves - 1) / config_.leaves;
     finalIteration_ = roundsTotal_ <= 1;
 
@@ -171,6 +217,11 @@ Pu::setupIteration()
         out_mode = finalIteration_ ? OutputMode::CscFinal
                                    : OutputMode::CooIntermediate;
         total_cols = csr_->cols;
+    } else if (mode_ == PuMode::Spgemm) {
+        // Final iteration synthesizes the slice's LOCAL row pointers.
+        out_mode = finalIteration_ ? OutputMode::CsrFinal
+                                   : OutputMode::CooIntermediate;
+        total_cols = csr_->rows;
     } else {
         out_mode = finalIteration_ ? OutputMode::DenseFinal
                                    : OutputMode::PairIntermediate;
@@ -191,12 +242,44 @@ Pu::setupIteration()
     neededPtrBlocks_.clear();
     ptrNextIssue_ = 0;
     ptrOutstanding_ = 0;
+    ctrlLoads_.clear();
+    ctrlNextIssue_ = 0;
     if (pointerPhase_) {
         const std::uint64_t entries =
-            (mode_ == PuMode::Transpose ? csr_->rows : csc_->cols) + 1;
+            (mode_ == PuMode::Spmv ? csc_->cols : csr_->rows) + 1;
         ptrBlocksTotal_ = (entries + 15) / 16;
         ptrArrived_.assign(ptrBlocksTotal_, false);
-        if (mode_ == PuMode::Transpose) {
+        if (mode_ == PuMode::Spgemm) {
+            // The controller needs A's row pointers (stream grouping),
+            // A's indices and values (each non-zero's B row and scale),
+            // and the B row-pointer entries bounding every referenced
+            // row. They are fetched in stream-ordinal order so early
+            // streams unblock while later metadata is still in flight;
+            // B pointer blocks are deduplicated at first use.
+            aIdxArrived_.assign((csr_->nnz() + 15) / 16, false);
+            aValArrived_.assign((csr_->nnz() + 15) / 16, false);
+            bPtrArrived_.assign((bMat_->rows + 1 + 15) / 16, false);
+            for (std::uint64_t b = 0; b < ptrBlocksTotal_; ++b)
+                ctrlLoads_.push_back(map_.blockOf(Region::RowPtr, b * 16));
+            std::vector<bool> b_seen(bPtrArrived_.size(), false);
+            for (std::uint64_t t = 0; t < spgemmStreams_.size(); ++t) {
+                if (t % 16 == 0) {
+                    ctrlLoads_.push_back(
+                        map_.blockOf(Region::ColIdx, t));
+                    ctrlLoads_.push_back(
+                        map_.blockOf(Region::NzVal, t));
+                }
+                const Index k = spgemmStreams_[t].bRow;
+                for (std::uint64_t blk :
+                     {std::uint64_t(k) / 16, std::uint64_t(k + 1) / 16}) {
+                    if (!b_seen[blk]) {
+                        b_seen[blk] = true;
+                        ctrlLoads_.push_back(
+                            map_.blockOf(Region::BRowPtr, blk * 16));
+                    }
+                }
+            }
+        } else if (mode_ == PuMode::Transpose) {
             // The whole pointer array is walked front to back.
             neededPtrBlocks_.resize(ptrBlocksTotal_);
             for (std::uint64_t b = 0; b < ptrBlocksTotal_; ++b)
@@ -240,6 +323,14 @@ Pu::pointerEngine()
 {
     if (!pointerPhase_)
         return;
+    if (mode_ == PuMode::Spgemm) {
+        // Stream the prebuilt controller metadata load list under the
+        // same outstanding-request cap as the pointer walk.
+        while (ctrlNextIssue_ < ctrlLoads_.size() &&
+               ptrOutstanding_ + pendingPtrLoads_.size() < 8)
+            pendingPtrLoads_.push_back(ctrlLoads_[ctrlNextIssue_++]);
+        return;
+    }
     // Schedule pointer (and, for SpMV, matching vector) block loads.
     // The pointer array is streamed front to back with a small
     // outstanding-request cap: the FSM needs the bounds in assignment
@@ -269,8 +360,13 @@ Pu::doLoadPort()
         req.addr = pendingPtrLoads_.front();
         req.requester = controllerRequester;
         const Addr rp_base = map_.base(Region::RowPtr);
-        const bool is_ptr = req.addr >= rp_base &&
-                            req.addr < rp_base + ptrBlocksTotal_ * 64;
+        // In SpGEMM mode every controller metadata load (A pointers,
+        // A indices/values, B pointers) is tracked for arrival gating
+        // and link retries, so all of them travel as RowPointer.
+        const bool is_ptr =
+            mode_ == PuMode::Spgemm ||
+            (req.addr >= rp_base &&
+             req.addr < rp_base + ptrBlocksTotal_ * 64);
         req.stream = is_ptr ? mem::Stream::RowPointer
                             : mem::Stream::ColumnIndex;
         if (mem_->enqueue(req)) {
@@ -350,10 +446,7 @@ Pu::handleResponse(const mem::MemRequest &req)
 {
     ++responsesHandled_;
     if (req.stream == mem::Stream::RowPointer) {
-        const Addr rp_base = map_.base(Region::RowPtr);
-        const std::uint64_t block = (req.addr - rp_base) / blockBytes;
-        if (block < ptrArrived_.size() && !ptrArrived_[block])
-            ptrArrived_[block] = true;
+        markControllerArrival(req.addr);
         ptrInFlight_.erase(req.addr);
         if (ptrOutstanding_ > 0)
             --ptrOutstanding_;
@@ -371,6 +464,36 @@ Pu::handleResponse(const mem::MemRequest &req)
         buffers_[b]->fillFromResponse(req.addr);
         noteBufferActivity(b);
     }
+}
+
+void
+Pu::markControllerArrival(Addr addr)
+{
+    // Attribute a controller load response to its arrival bitmap. The
+    // regions are laid out at ascending bases and each bitmap covers
+    // only the block prefix its array actually uses (always less than
+    // the page-rounded region span), so the first in-range match is the
+    // owning region.
+    auto mark = [this, addr](Region region,
+                             std::vector<bool> &bits) -> bool {
+        const Addr base = map_.base(region);
+        if (addr < base)
+            return false;
+        const std::uint64_t block = (addr - base) / blockBytes;
+        if (block >= bits.size())
+            return false;
+        bits[block] = true;
+        return true;
+    };
+    if (mark(Region::RowPtr, ptrArrived_))
+        return;
+    if (mode_ != PuMode::Spgemm)
+        return;
+    if (mark(Region::ColIdx, aIdxArrived_))
+        return;
+    if (mark(Region::NzVal, aValArrived_))
+        return;
+    mark(Region::BRowPtr, bPtrArrived_);
 }
 
 void
@@ -395,8 +518,7 @@ Pu::noteBufferActivity(unsigned slot)
 void
 Pu::doAssignments()
 {
-    const std::uint64_t n =
-        iteration_ == 0 ? neRows_.size() : streams_.size();
+    const std::uint64_t n = streamCount();
     unsigned made = 0;
     std::size_t examined = 0;
     while (!assignQueue_.empty() && made < 2 && examined < 8) {
@@ -423,9 +545,29 @@ Pu::doAssignments()
         StreamDesc desc;
         if (ordinal < n) {
             if (pointerPhase_) {
-                const Index line = neRows_[ordinal];
-                if (!ptrArrived_[line / 16] ||
-                    !ptrArrived_[(line + 1) / 16]) {
+                bool bounds_ready;
+                if (mode_ == PuMode::Spgemm) {
+                    // A stream exists once the controller holds the A
+                    // row-pointer blocks framing its row, the A index
+                    // and value blocks carrying its B row and scale,
+                    // and the B row-pointer blocks framing its bounds.
+                    const spgemm::PartialProductStream &s =
+                        spgemmStreams_[ordinal];
+                    const Index r = s.outRow;
+                    const Index k = s.bRow;
+                    bounds_ready =
+                        ptrArrived_[r / 16] &&
+                        ptrArrived_[(r + 1) / 16] &&
+                        aIdxArrived_[ordinal / 16] &&
+                        aValArrived_[ordinal / 16] &&
+                        bPtrArrived_[k / 16] &&
+                        bPtrArrived_[(k + 1) / 16];
+                } else {
+                    const Index line = neRows_[ordinal];
+                    bounds_ready = ptrArrived_[line / 16] &&
+                                   ptrArrived_[(line + 1) / 16];
+                }
+                if (!bounds_ready) {
                     // Bounds not here yet; give others a chance.
                     assignQueue_.pop_front();
                     assignQueue_.push_back(b);
@@ -459,8 +601,10 @@ Pu::doPushQueue()
         PrefetchBuffer &buf = *buffers_[b];
         if (!buf.hasPacket())
             continue;
-        if (!tree_.canPush(b))
+        if (!tree_.canPush(b)) {
+            ++pushStalls_;
             continue; // leaf FIFO full; freedSlots() will wake us
+        }
         tree_.push(b, buf.popPacket());
         noteBufferActivity(b);
     }
@@ -485,15 +629,24 @@ Pu::doRootPop()
     if (!tree_.canPop())
         return;
     Packet p = tree_.pop();
-    if (mode_ == PuMode::Transpose) {
+    if (mode_ == PuMode::Transpose ||
+        (mode_ == PuMode::Spgemm && !finalIteration_)) {
+        // Transposition never accumulates; SpGEMM intermediate
+        // iterations pass duplicates through untouched so the final
+        // left-to-right accumulation order is independent of the round
+        // decomposition (DESIGN.md Sec. 9).
         output_.accept(p);
         return;
     }
-    // SpMV: the reduction unit merges consecutive packets with equal row
-    // index using the pipelined FP adders (Sec. 3.6).
+    // SpMV (and the SpGEMM final iteration): the reduction unit merges
+    // consecutive packets with an equal merge key using the pipelined
+    // FP adders (Sec. 3.6). SpGEMM keys on (row, col), SpMV on row.
     bool accepted = false;
     if (p.valid) {
-        if (reduction_.valid && reduction_.row == p.row) {
+        const bool same_key =
+            reduction_.valid && reduction_.row == p.row &&
+            (mode_ == PuMode::Spmv || reduction_.col == p.col);
+        if (same_key) {
             reduction_.val += p.val;
         } else {
             if (reduction_.valid) {
@@ -549,6 +702,19 @@ Pu::finishIteration()
                 ++resultCsc_.ptr[c + 1];
             for (std::size_t c = 0; c < csr_->cols; ++c)
                 resultCsc_.ptr[c + 1] += resultCsc_.ptr[c];
+        } else if (mode_ == PuMode::Spgemm) {
+            // Packets arrive in (row, col) order with duplicates already
+            // accumulated; rows are local to the slice.
+            resultCsr_.rows = csr_->rows;
+            resultCsr_.cols = bMat_->cols;
+            resultCsr_.ptr.assign(
+                static_cast<std::size_t>(csr_->rows) + 1, 0);
+            resultCsr_.idx.assign(merged.col.begin(), merged.col.end());
+            resultCsr_.val.assign(merged.val.begin(), merged.val.end());
+            for (Index r : merged.row)
+                ++resultCsr_.ptr[r + 1];
+            for (std::size_t r = 0; r < csr_->rows; ++r)
+                resultCsr_.ptr[r + 1] += resultCsr_.ptr[r];
         } else {
             resultVec_.assign(csc_->rows, 0.0);
             for (std::size_t i = 0; i < merged.size(); ++i)

@@ -39,6 +39,7 @@
 #include "menda/pu_config.hh"
 #include "menda/stream.hh"
 #include "sparse/format.hh"
+#include "spgemm/partial_products.hh"
 #include "sim/clock.hh"
 
 namespace menda::core
@@ -49,6 +50,7 @@ enum class PuMode : std::uint8_t
 {
     Transpose, ///< CSR slice -> CSC slice (Sec. 3.1-3.5)
     Spmv,      ///< CSC slice * x -> dense y partition (Sec. 3.6)
+    Spgemm,    ///< A slice x B -> CSR slice of C (outer product)
 };
 
 /** Per-iteration measurements for the Fig. 12-style breakdowns. */
@@ -81,6 +83,17 @@ class Pu : public Ticked
        const sparse::CscMatrix *slice_csc, const std::vector<Value> *x,
        Index row_offset, dram::MemoryController *mem);
 
+    /**
+     * SpGEMM PU: computes the rows of C = A x B belonging to
+     * @p a_slice. @p b is the second operand, replicated into this
+     * PU's rank. Every non-zero of the slice becomes one scaled-B-row
+     * partial-product stream; the tree merges them by (row, col) and
+     * the root reduction accumulates duplicate keys (DESIGN.md Sec. 9).
+     */
+    Pu(std::string name, const PuConfig &config,
+       const sparse::CsrMatrix *a_slice, const sparse::CsrMatrix *b,
+       Index row_offset, dram::MemoryController *mem);
+
     /** Arm execution; the host writes the start MMIO register (Sec. 4). */
     void start();
 
@@ -110,6 +123,10 @@ class Pu : public Ticked
     /** SpMV partition result y[row_offset ...]. Valid once done. */
     const std::vector<double> &resultVector() const { return resultVec_; }
 
+    /** SpGEMM slice of C in CSR, rows LOCAL to the slice. Valid once
+     *  done; the host stitches slices by row-range concatenation. */
+    const sparse::CsrMatrix &resultCsr() const { return resultCsr_; }
+
     // --- observability ---
     Cycle cycles() const { return cycle_; }
     unsigned iterationsExecuted() const
@@ -128,6 +145,12 @@ class Pu : public Ticked
     std::uint64_t storesIssued() const { return stores_.value(); }
     std::uint64_t retriesIssued() const { return retries_.value(); }
 
+    /** Cycles the root had output but the output unit back-pressured. */
+    std::uint64_t outputStallCycles() const { return output_.stallCycles(); }
+
+    /** Buffer-cycles a ready packet was blocked on a full leaf FIFO. */
+    std::uint64_t leafPushStallCycles() const { return pushStalls_.value(); }
+
   private:
     enum class Phase : std::uint8_t
     {
@@ -141,6 +164,9 @@ class Pu : public Ticked
     void finishIteration();
     Packet readElement(const StreamDesc &desc, std::uint64_t element) const;
     void handleResponse(const mem::MemRequest &req);
+    void markControllerArrival(Addr addr);
+    std::uint64_t streamCount() const;
+    void commonInit();
     void doAssignments();
     void doLoadPort();
     void doStorePort();
@@ -155,9 +181,10 @@ class Pu : public Ticked
     PuMode mode_;
 
     // Functional inputs.
-    const sparse::CsrMatrix *csr_ = nullptr; ///< transpose input
+    const sparse::CsrMatrix *csr_ = nullptr; ///< transpose/SpGEMM A slice
     const sparse::CscMatrix *csc_ = nullptr; ///< SpMV input
     const std::vector<Value> *vecX_ = nullptr;
+    const sparse::CsrMatrix *bMat_ = nullptr; ///< SpGEMM B (replicated)
     Index rowOffset_ = 0;
 
     PuMemoryMap map_;
@@ -192,6 +219,16 @@ class Pu : public Ticked
     std::unordered_map<Addr, Cycle> ptrInFlight_; ///< for link retries
     std::vector<Index> neRows_;   ///< non-empty rows (cols in SpMV mode)
 
+    // SpGEMM controller state (iteration 0): the stream table built from
+    // the A slice, the ordered list of controller metadata block loads
+    // (A row pointers, A indices/values, first-use B row pointers), and
+    // arrival bitmaps gating stream assignment on the blocks that define
+    // each stream's bounds and scale.
+    std::vector<spgemm::PartialProductStream> spgemmStreams_;
+    std::vector<Addr> ctrlLoads_;
+    std::uint64_t ctrlNextIssue_ = 0;
+    std::vector<bool> aIdxArrived_, aValArrived_, bPtrArrived_;
+
     // Response path: DRAM-clock callback -> PU-clock consumption.
     std::deque<mem::MemRequest> responses_;
 
@@ -215,6 +252,7 @@ class Pu : public Ticked
     // Results.
     sparse::CscMatrix resultCsc_;
     std::vector<double> resultVec_;
+    sparse::CsrMatrix resultCsr_;
 
     Cycle cycle_ = 0;
     Cycle iterStartCycle_ = 0;
@@ -224,6 +262,7 @@ class Pu : public Ticked
     std::vector<IterationStats> iterStats_;
 
     Counter loads_, stores_, responsesHandled_, assignments_, retries_;
+    Counter pushStalls_;
     StatGroup stats_;
 };
 

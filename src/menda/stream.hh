@@ -16,9 +16,10 @@ namespace menda::core
 /** Where a stream's elements live. */
 enum class StreamSource : std::uint8_t
 {
-    CsrRow,   ///< iteration 0: one row of the input CSR slice
-    Coo,      ///< iteration >= 1: a COO run from the ping-pong buffer
-    CscColumn,///< SpMV iteration 0: one column of the input CSC slice
+    CsrRow,    ///< iteration 0: one row of the input CSR slice
+    Coo,       ///< iteration >= 1: a COO run from the ping-pong buffer
+    CscColumn, ///< SpMV iteration 0: one column of the input CSC slice
+    ScaledBRow,///< SpGEMM iteration 0: row of B scaled by one A non-zero
 };
 
 /** A contiguous run of non-zeros, sorted by the iteration's merge key. */
@@ -27,8 +28,11 @@ struct StreamDesc
     StreamSource source = StreamSource::CsrRow;
     std::uint64_t begin = 0; ///< first element offset in the source arrays
     std::uint64_t end = 0;   ///< one past the last element
-    Index fixedIndex = 0;    ///< CsrRow: the row id; CscColumn: the col id
+    Index fixedIndex = 0;    ///< CsrRow: row id; CscColumn: col id;
+                             ///< ScaledBRow: the LOCAL output row
     int cooBuffer = 0;       ///< Coo: which ping-pong buffer (0/1)
+    Value scale = 1.0f;      ///< ScaledBRow: the A(i, k) multiplier
+    Index auxIndex = 0;      ///< ScaledBRow: the source B row k
 
     std::uint64_t length() const { return end - begin; }
     bool empty() const { return begin == end; }

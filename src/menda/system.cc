@@ -5,6 +5,7 @@
 #include "common/log.hh"
 #include "sim/clock.hh"
 #include "sim/parallel.hh"
+#include "spgemm/plan.hh"
 
 namespace menda::core
 {
@@ -30,6 +31,10 @@ MendaSystem::collect(RunResult &result, const PuVec &pus,
             mem.readQueue().coalescedHits().value();
         result.rowConflicts += mem.rowConflicts();
         result.activates += mem.activates();
+        result.treeOccupancyPacketCycles +=
+            pu.tree().occupancyPacketCycles();
+        result.leafPushStallCycles += pu.leafPushStallCycles();
+        result.outputStallCycles += pu.outputStallCycles();
         bus_cycles_total += mem.busBusyCycles();
         elapsed_mem_cycles = std::max(elapsed_mem_cycles, mem.curCycle());
         lastIterStats_.push_back(pu.iterationStats());
@@ -192,6 +197,62 @@ MendaSystem::spmv(const sparse::CsrMatrix &a, const std::vector<Value> &x)
         for (std::size_t r = 0; r < part.size(); ++r)
             result.y[slices[i].rowBegin + r] = part[r];
     }
+    return result;
+}
+
+SpgemmResult
+MendaSystem::spgemm(const sparse::CsrMatrix &a, const sparse::CsrMatrix &b)
+{
+    menda_assert(a.cols == b.rows, "spgemm: inner dimension mismatch");
+    const unsigned n_pus = config_.totalPus();
+    SpgemmResult result;
+    // Balance the *merge work* (partial products), not A's NNZ: PU
+    // execution time tracks the elements its tree merges (Sec. 3.5
+    // balancing on the SpGEMM work profile).
+    result.slices = config_.rowPartitioning
+                        ? sparse::partitionByRows(a, n_pus)
+                        : spgemm::partitionByMergeWork(a, b, n_pus);
+    result.partialProducts = spgemm::partialProductCount(a, b);
+
+    std::vector<sparse::CsrMatrix> slices;
+    slices.reserve(n_pus);
+    for (const auto &slice : result.slices)
+        slices.push_back(sparse::extractSlice(a, slice));
+
+    // B is replicated into every rank (PUs never communicate).
+    std::vector<std::unique_ptr<dram::MemoryController>> mems;
+    std::vector<std::unique_ptr<Pu>> pus;
+    for (unsigned i = 0; i < n_pus; ++i) {
+        mems.push_back(std::make_unique<dram::MemoryController>(
+            "mem" + std::to_string(i), config_.dram,
+            config_.pu.requestCoalescing));
+        pus.push_back(std::make_unique<Pu>(
+            "pu" + std::to_string(i), config_.pu, &slices[i], &b,
+            result.slices[i].rowBegin, mems.back().get()));
+    }
+
+    const double seconds = simulate(pus, mems);
+    collect(result, pus, mems, seconds);
+
+    // Stitch the per-PU CSR slices: partitions are contiguous ascending
+    // row ranges, so C is the row-wise concatenation of the slice
+    // results (local row pointers rebased onto the global array).
+    result.c.rows = a.rows;
+    result.c.cols = b.cols;
+    result.c.ptr.assign(static_cast<std::size_t>(a.rows) + 1, 0);
+    for (unsigned i = 0; i < n_pus; ++i) {
+        const sparse::CsrMatrix &part = pus[i]->resultCsr();
+        const Index base = result.slices[i].rowBegin;
+        for (Index r = 0; r < part.rows; ++r)
+            result.c.ptr[base + r + 1] =
+                part.ptr[r + 1] - part.ptr[r];
+        result.c.idx.insert(result.c.idx.end(), part.idx.begin(),
+                            part.idx.end());
+        result.c.val.insert(result.c.val.end(), part.val.begin(),
+                            part.val.end());
+    }
+    for (std::size_t r = 0; r < a.rows; ++r)
+        result.c.ptr[r + 1] += result.c.ptr[r];
     return result;
 }
 

@@ -80,6 +80,14 @@ struct RunResult
     std::uint64_t activates = 0;
     double busUtilization = 0.0;    ///< aggregate data-bus busy fraction
 
+    // Merge-tree utilization (summed over PUs). Dividing the occupancy
+    // integral by puCycles gives the mean packets buffered in a tree;
+    // the stall counters separate input-side (leaf FIFO full) from
+    // output-side (output unit back-pressure) bottlenecks.
+    std::uint64_t treeOccupancyPacketCycles = 0;
+    std::uint64_t leafPushStallCycles = 0;
+    std::uint64_t outputStallCycles = 0;
+
     std::uint64_t totalBlocks() const { return readBlocks + writeBlocks; }
 
     /** Bytes moved per second of execution. */
@@ -108,6 +116,13 @@ struct SpmvResult : RunResult
     std::vector<double> y; ///< full result vector
 };
 
+struct SpgemmResult : RunResult
+{
+    sparse::CsrMatrix c;  ///< stitched product C = A x B
+    std::vector<sparse::RowSlice> slices; ///< per-PU A partitions
+    std::uint64_t partialProducts = 0;    ///< merge elements generated
+};
+
 class MendaSystem
 {
   public:
@@ -124,6 +139,16 @@ class MendaSystem
      */
     SpmvResult spmv(const sparse::CsrMatrix &a,
                     const std::vector<Value> &x);
+
+    /**
+     * SpGEMM C = A x B (CSR x CSR -> CSR) as an outer-product merge
+     * dataflow: each PU merges the scaled-B-row partial products of its
+     * merge-work-balanced A slice, spilling to DRAM and re-merging when
+     * the fan-in exceeds the tree width (DESIGN.md Sec. 9). B is
+     * replicated into every rank.
+     */
+    SpgemmResult spgemm(const sparse::CsrMatrix &a,
+                        const sparse::CsrMatrix &b);
 
     /** Per-PU iteration stats of the last run (Fig. 12 analysis). */
     const std::vector<std::vector<IterationStats>> &

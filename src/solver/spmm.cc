@@ -51,6 +51,17 @@ spmm(const sparse::CsrMatrix &a, const sparse::CsrMatrix &b)
 }
 
 sparse::CsrMatrix
+spmm(const sparse::CsrMatrix &a, const sparse::CsrMatrix &b,
+     const core::SystemConfig &system, core::RunResult *stats)
+{
+    core::MendaSystem menda(system);
+    core::SpgemmResult result = menda.spgemm(a, b);
+    if (stats)
+        *stats = result;
+    return std::move(result.c);
+}
+
+sparse::CsrMatrix
 normalEquations(const sparse::CsrMatrix &at, const sparse::CsrMatrix &a)
 {
     menda_assert(at.rows == a.cols && at.cols == a.rows,

@@ -15,6 +15,7 @@
 #ifndef MENDA_SOLVER_SPMM_HH
 #define MENDA_SOLVER_SPMM_HH
 
+#include "menda/system.hh"
 #include "sparse/format.hh"
 
 namespace menda::solver
@@ -23,6 +24,18 @@ namespace menda::solver
 /** C = A * B by Gustavson's row-wise algorithm. */
 sparse::CsrMatrix spmm(const sparse::CsrMatrix &a,
                        const sparse::CsrMatrix &b);
+
+/**
+ * C = A * B offloaded to the simulated MeNDA system: both operands are
+ * sparse, so the product routes through the outer-product merge engine
+ * (core::MendaSystem::spgemm, DESIGN.md Sec. 9) instead of the host
+ * Gustavson kernel. @p stats, when given, receives the run's simulated
+ * counters.
+ */
+sparse::CsrMatrix spmm(const sparse::CsrMatrix &a,
+                       const sparse::CsrMatrix &b,
+                       const core::SystemConfig &system,
+                       core::RunResult *stats = nullptr);
 
 /**
  * AᵀA given A in CSR and Aᵀ in CSR (e.g. straight out of MeNDA's

@@ -8,35 +8,45 @@ namespace menda::sparse
 {
 
 std::vector<RowSlice>
-partitionByNnz(const CsrMatrix &a, unsigned parts)
+partitionByWeight(const std::vector<std::uint64_t> &prefix, unsigned parts)
 {
-    menda_assert(parts > 0, "partitionByNnz: need at least one part");
+    menda_assert(parts > 0, "partitionByWeight: need at least one part");
+    menda_assert(!prefix.empty() && prefix.front() == 0,
+                 "partitionByWeight: prefix must start at 0");
+    const Index rows = static_cast<Index>(prefix.size() - 1);
     std::vector<RowSlice> slices(parts);
-    const std::uint64_t total = a.nnz();
+    const std::uint64_t total = prefix.back();
     Index row = 0;
     for (unsigned p = 0; p < parts; ++p) {
         RowSlice &slice = slices[p];
         slice.rowBegin = row;
-        slice.nnzBegin = a.ptr[row];
-        // Target cumulative NNZ at the end of this slice.
+        slice.nnzBegin = prefix[row];
+        // Target cumulative weight at the end of this slice.
         const std::uint64_t target = total * (p + 1) / parts;
-        while (row < a.rows && a.ptr[row + 1] <= target)
+        while (row < rows && prefix[row + 1] <= target)
             ++row;
         // Take one more row if it brings us closer to the target than
         // stopping short does (and rows remain for later slices).
-        if (row < a.rows && p + 1 < parts) {
-            std::uint64_t under = target - a.ptr[row];
-            std::uint64_t over = a.ptr[row + 1] - target;
-            if (over < under && a.rows - (row + 1) >=
+        if (row < rows && p + 1 < parts) {
+            std::uint64_t under = target - prefix[row];
+            std::uint64_t over = prefix[row + 1] - target;
+            if (over < under && rows - (row + 1) >=
                     static_cast<Index>(parts - p - 1))
                 ++row;
         }
         if (p + 1 == parts)
-            row = a.rows;
+            row = rows;
         slice.rowEnd = row;
-        slice.nnzEnd = a.ptr[row];
+        slice.nnzEnd = prefix[row];
     }
     return slices;
+}
+
+std::vector<RowSlice>
+partitionByNnz(const CsrMatrix &a, unsigned parts)
+{
+    std::vector<std::uint64_t> prefix(a.ptr.begin(), a.ptr.end());
+    return partitionByWeight(prefix, parts);
 }
 
 std::vector<RowSlice>

@@ -38,6 +38,19 @@ struct RowSlice
 std::vector<RowSlice> partitionByNnz(const CsrMatrix &a, unsigned parts);
 
 /**
+ * The Sec. 3.5 balancing algorithm on an arbitrary per-row weight
+ * prefix sum (rows + 1 entries, prefix[0] == 0): rows are split into
+ * @p parts contiguous ranges with near-equal total weight. This is what
+ * partitionByNnz runs on the NNZ prefix (the row pointer array); the
+ * SpGEMM planner runs it on the partial-product count so each rank
+ * merges a near-equal share of the multiply's merge work. The returned
+ * slices carry the *weight* prefix in nnzBegin/nnzEnd; callers slicing
+ * an actual matrix must rebuild those from its row pointers.
+ */
+std::vector<RowSlice> partitionByWeight(
+    const std::vector<std::uint64_t> &prefix, unsigned parts);
+
+/**
  * The naive alternative of Sec. 3.5: split by equal ROW ranges (what
  * address-MSB assignment amounts to). Skewed matrices then hand some
  * PUs far more non-zeros than others — the imbalance the NNZ-based

@@ -1,0 +1,29 @@
+#include "spgemm/partial_products.hh"
+
+#include "common/log.hh"
+
+namespace menda::spgemm
+{
+
+std::vector<PartialProductStream>
+buildStreams(const sparse::CsrMatrix &a_slice, const sparse::CsrMatrix &b)
+{
+    menda_assert(a_slice.cols == b.rows,
+                 "buildStreams: inner dimensions must agree");
+    std::vector<PartialProductStream> streams;
+    streams.reserve(a_slice.nnz());
+    for (Index r = 0; r < a_slice.rows; ++r) {
+        for (std::uint64_t e = a_slice.ptr[r]; e < a_slice.ptr[r + 1]; ++e) {
+            PartialProductStream s;
+            s.outRow = r;
+            s.bRow = a_slice.idx[e];
+            s.scale = a_slice.val[e];
+            s.begin = b.ptr[s.bRow];
+            s.end = b.ptr[s.bRow + 1];
+            streams.push_back(s);
+        }
+    }
+    return streams;
+}
+
+} // namespace menda::spgemm

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Partial-product stream generation for outer-product SpGEMM.
+ *
+ * Each non-zero A(i,k) of the rank's A slice becomes one sorted input
+ * stream: row k of B with every value scaled by A(i,k), emitted under
+ * output row i. The streams are enumerated in row-major nonzero order
+ * of the slice, which makes the hierarchical stable merge in the PU
+ * equivalent to a flat stable k-way merge in stream-ordinal order --
+ * the property the exactness guarantee against the CPU heap baseline
+ * rests on (see DESIGN.md Sec. 9).
+ */
+
+#ifndef MENDA_SPGEMM_PARTIAL_PRODUCTS_HH
+#define MENDA_SPGEMM_PARTIAL_PRODUCTS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/format.hh"
+
+namespace menda::spgemm
+{
+
+/** One scaled-B-row stream: elements [begin, end) of B's arrays. */
+struct PartialProductStream
+{
+    Index outRow = 0; ///< output row, LOCAL to the slice
+    Index bRow = 0;   ///< source row of B
+    Value scale = 0;  ///< A(i, k)
+    std::uint64_t begin = 0;  ///< b.ptr[bRow]
+    std::uint64_t end = 0;    ///< b.ptr[bRow + 1]
+
+    std::uint64_t elements() const { return end - begin; }
+};
+
+/**
+ * Enumerate the partial-product streams of @p a_slice x @p b in
+ * row-major non-zero order. @p a_slice uses local row numbering
+ * (i.e. it is an extractSlice result); streams of empty B rows are
+ * included so stream ordinals match A non-zero ordinals.
+ */
+std::vector<PartialProductStream> buildStreams(
+    const sparse::CsrMatrix &a_slice, const sparse::CsrMatrix &b);
+
+} // namespace menda::spgemm
+
+#endif // MENDA_SPGEMM_PARTIAL_PRODUCTS_HH

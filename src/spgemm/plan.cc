@@ -1,0 +1,73 @@
+#include "spgemm/plan.hh"
+
+#include "common/log.hh"
+
+namespace menda::spgemm
+{
+
+WorkProfile
+profileWork(const sparse::CsrMatrix &a, const sparse::CsrMatrix &b)
+{
+    menda_assert(a.cols == b.rows,
+                 "profileWork: inner dimensions must agree");
+    WorkProfile profile;
+    profile.prefix.resize(static_cast<std::size_t>(a.rows) + 1, 0);
+    for (Index r = 0; r < a.rows; ++r) {
+        std::uint64_t row_work = 0;
+        for (std::uint64_t e = a.ptr[r]; e < a.ptr[r + 1]; ++e) {
+            const Index k = a.idx[e];
+            row_work += b.ptr[k + 1] - b.ptr[k];
+        }
+        profile.prefix[r + 1] = profile.prefix[r] + row_work;
+    }
+    return profile;
+}
+
+std::uint64_t
+partialProductCount(const sparse::CsrMatrix &a, const sparse::CsrMatrix &b)
+{
+    return profileWork(a, b).total();
+}
+
+std::vector<sparse::RowSlice>
+partitionByMergeWork(const sparse::CsrMatrix &a, const sparse::CsrMatrix &b,
+                     unsigned parts)
+{
+    const WorkProfile profile = profileWork(a, b);
+    std::vector<sparse::RowSlice> slices =
+        sparse::partitionByWeight(profile.prefix, parts);
+    // partitionByWeight leaves the weight prefix in nnzBegin/nnzEnd;
+    // rebuild them from A's row pointers so extractSlice works.
+    for (sparse::RowSlice &slice : slices) {
+        slice.nnzBegin = a.ptr[slice.rowBegin];
+        slice.nnzEnd = a.ptr[slice.rowEnd];
+    }
+    return slices;
+}
+
+MergeSchedule
+planMergeRounds(std::uint64_t fan_in, unsigned leaves,
+                std::uint64_t partial_products)
+{
+    menda_assert(leaves >= 2, "planMergeRounds: tree needs >= 2 leaves");
+    MergeSchedule schedule;
+    schedule.fanIn = fan_in;
+    schedule.leaves = leaves;
+    // Mirror of Pu::setupIteration / finishIteration: each iteration
+    // merges n streams in ceil(n / leaves) rounds; if more than one
+    // round was needed, the round outputs (each a sorted run of the
+    // slice's full element set) become the next iteration's streams.
+    std::uint64_t n = fan_in;
+    do {
+        const std::uint64_t rounds = (n + leaves - 1) / leaves;
+        schedule.roundsPerIteration.push_back(rounds);
+        ++schedule.iterations;
+        if (rounds <= 1)
+            break;
+        schedule.spilledElements += partial_products;
+        n = rounds;
+    } while (true);
+    return schedule;
+}
+
+} // namespace menda::spgemm

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Host-side planning for the outer-product SpGEMM dataflow (C = A x B)
+ * on the MeNDA PU.
+ *
+ * SpGEMM reduces to exactly the primitive MeNDA accelerates: every
+ * non-zero A(i,k) selects row k of B, scaled by A(i,k), as one sorted
+ * partial-product stream of output row i, and all streams of a rank's
+ * row slice are merged by (row, col) with duplicate keys accumulated
+ * (the SpArch observation). Two planning problems are solved here:
+ *
+ *  - Work partitioning: PU execution time tracks the number of partial
+ *    products it merges, not A's NNZ, so the Sec. 3.5 balancing
+ *    algorithm (sparse::partitionByWeight) runs on the per-row
+ *    partial-product prefix instead of the row pointer array.
+ *  - Round decomposition: a slice's merge fan-in (its A non-zero count)
+ *    routinely exceeds the hardware tree width l. The merge is then
+ *    decomposed into hierarchical rounds: each round merges up to l
+ *    streams into one sorted run spilled to the DRAM-resident COO
+ *    ping-pong buffer, and the runs are re-fed through the prefetch
+ *    buffers as the next iteration's streams until one run remains.
+ */
+
+#ifndef MENDA_SPGEMM_PLAN_HH
+#define MENDA_SPGEMM_PLAN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/format.hh"
+#include "sparse/partition.hh"
+
+namespace menda::spgemm
+{
+
+/** Per-row merge-work profile of C = A x B. */
+struct WorkProfile
+{
+    /** rows + 1 entries: cumulative partial products up to each row. */
+    std::vector<std::uint64_t> prefix;
+
+    /** Total partial products (merge elements) of the product. */
+    std::uint64_t
+    total() const
+    {
+        return prefix.empty() ? 0 : prefix.back();
+    }
+};
+
+/** Count the partial products each row of A x B generates. */
+WorkProfile profileWork(const sparse::CsrMatrix &a,
+                        const sparse::CsrMatrix &b);
+
+/** Partial products of the whole product (== profileWork().total()). */
+std::uint64_t partialProductCount(const sparse::CsrMatrix &a,
+                                  const sparse::CsrMatrix &b);
+
+/**
+ * Split A's rows into @p parts contiguous slices so every rank merges a
+ * near-equal share of the partial products (Sec. 3.5 balancing on the
+ * work prefix). nnzBegin/nnzEnd are rebuilt against A's row pointers so
+ * the slices drive sparse::extractSlice directly.
+ */
+std::vector<sparse::RowSlice> partitionByMergeWork(
+    const sparse::CsrMatrix &a, const sparse::CsrMatrix &b,
+    unsigned parts);
+
+/** Hierarchical decomposition of one rank's merge. */
+struct MergeSchedule
+{
+    std::uint64_t fanIn = 0; ///< initial sorted streams (slice A NNZ)
+    unsigned leaves = 0;     ///< hardware tree width
+
+    /** PU iterations, including the final (non-spilling) one. */
+    unsigned iterations = 0;
+
+    /** Merge rounds per iteration; the last entry is <= 1. */
+    std::vector<std::uint64_t> roundsPerIteration;
+
+    /**
+     * COO elements written to the intermediate ping-pong buffer and
+     * read back: every non-final iteration spills the slice's full
+     * partial-product set once.
+     */
+    std::uint64_t spilledElements = 0;
+
+    /** Spill traffic in bytes: 3 x 4 B arrays, written and re-read. */
+    std::uint64_t
+    spilledBytes() const
+    {
+        return spilledElements * 12 * 2;
+    }
+
+    /** True if the fan-in does not fit one pass through the tree. */
+    bool multiRound() const { return iterations > 1; }
+};
+
+/**
+ * Decompose a merge of @p fan_in sorted streams totalling
+ * @p partial_products elements on an @p leaves-way tree. Mirrors the PU
+ * controller exactly: ceil(n / l) rounds per iteration, the round
+ * outputs become the next iteration's streams, and the iteration whose
+ * fan-in fits a single round is final.
+ */
+MergeSchedule planMergeRounds(std::uint64_t fan_in, unsigned leaves,
+                              std::uint64_t partial_products);
+
+} // namespace menda::spgemm
+
+#endif // MENDA_SPGEMM_PLAN_HH

@@ -78,6 +78,27 @@ TEST(Cli, SpmvRuns)
     EXPECT_NE(r.output.find("\"kernel\":\"spmv\""), std::string::npos);
 }
 
+TEST(Cli, SpgemmRmatDemoVerifies)
+{
+    CommandResult r = runTool(
+        "spgemm --rmat=64 --nnz=500 --dimms=1 --ranks=2 --leaves=16 "
+        "--verify");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("verified against the heap-merge baseline"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("partial products"), std::string::npos);
+}
+
+TEST(Cli, SpgemmWorkloadJson)
+{
+    CommandResult r = runTool(
+        "spgemm --workload=N3 --scale=32 --dimms=1 --leaves=32 --json");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("\"kernel\":\"spgemm\""), std::string::npos)
+        << r.output;
+}
+
 TEST(Cli, SweepChannels)
 {
     CommandResult r = runTool(

@@ -10,6 +10,7 @@
 
 #include <cmath>
 
+#include "baselines/spgemm_cpu.hh"
 #include "common/random.hh"
 #include "menda/system.hh"
 #include "sparse/generate.hh"
@@ -104,6 +105,34 @@ TEST_P(PuFuzz, SpmvAlwaysMatchesReference)
                     1e-3 * (std::abs(want[r]) + 1.0))
             << "row " << r << " PUs=" << config.totalPus()
             << " leaves=" << config.pu.leaves;
+}
+
+TEST_P(PuFuzz, SpgemmAlwaysMatchesHeapMergeExactly)
+{
+    Rng rng(0xcafe0000u + GetParam());
+    // Modest dimensions keep the reference cheap, but the A NNZ count
+    // (the merge fan-in) routinely exceeds the 4..64-leaf trees drawn
+    // by randomConfig, so multi-round spills are fuzzed too.
+    const Index m = 8 + static_cast<Index>(rng.below(96));
+    const Index k = 8 + static_cast<Index>(rng.below(96));
+    const Index n = 8 + static_cast<Index>(rng.below(96));
+    sparse::CsrMatrix a = sparse::generateUniform(
+        m, k, 1 + rng.below(static_cast<std::uint64_t>(m) * k / 2),
+        rng.next());
+    sparse::CsrMatrix b = sparse::generateUniform(
+        k, n, 1 + rng.below(static_cast<std::uint64_t>(k) * n / 2),
+        rng.next());
+    SystemConfig config = randomConfig(rng);
+    MendaSystem sys(config);
+    SpgemmResult result = sys.spgemm(a, b);
+    sparse::CsrMatrix want = baselines::spgemmHeapMerge(a, b);
+    ASSERT_EQ(result.c.ptr, want.ptr)
+        << "PUs=" << config.totalPus() << " leaves=" << config.pu.leaves
+        << " fanIn=" << a.nnz();
+    ASSERT_EQ(result.c.idx, want.idx);
+    ASSERT_EQ(result.c.val, want.val)
+        << "PUs=" << config.totalPus() << " leaves=" << config.pu.leaves;
+    result.c.validate();
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PuFuzz, ::testing::Range(0u, 12u));

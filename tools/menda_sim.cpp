@@ -5,6 +5,9 @@
  *   menda_sim inspect   <file.mtx | --workload=NAME> [--scale=N]
  *   menda_sim transpose <file.mtx | --workload=NAME> [system flags]
  *   menda_sim spmv      <file.mtx | --workload=NAME> [system flags]
+ *   menda_sim spgemm    <file.mtx | --workload=NAME | --rmat=DIM>
+ *                       [--nnz=N] [--seed=S] [--verify] [system flags]
+ *                       (computes C = A x A on the merge dataflow)
  *   menda_sim sweep     <file.mtx | --workload=NAME> --param=channels|leaves|frequency
  *
  * System flags: --channels --dimms --ranks --leaves --freq
@@ -24,9 +27,11 @@
 #include <string>
 #include <vector>
 
+#include "baselines/spgemm_cpu.hh"
 #include "common/config.hh"
 #include "common/log.hh"
 #include "menda/system.hh"
+#include "sparse/generate.hh"
 #include "power/power_model.hh"
 #include "sparse/mmio.hh"
 #include "sparse/stats.hh"
@@ -181,6 +186,44 @@ cmdSpmv(const Options &opts)
 }
 
 int
+cmdSpgemm(const Options &opts)
+{
+    // `--rmat=DIM` runs the self-contained power-law demo; otherwise a
+    // workload or .mtx file supplies A. Both compute C = A x A through
+    // the outer-product merge engine (DESIGN.md Sec. 9).
+    sparse::CsrMatrix a;
+    if (opts.has("rmat")) {
+        const Index dim =
+            static_cast<Index>(opts.getInt("rmat", 256));
+        const std::uint64_t nnz = static_cast<std::uint64_t>(
+            opts.getInt("nnz", 8 * static_cast<std::int64_t>(dim)));
+        a = sparse::generateRmat(
+            dim, nnz, 0.1, 0.2, 0.3,
+            static_cast<std::uint64_t>(opts.getInt("seed", 42)));
+    } else {
+        a = loadMatrix(opts);
+    }
+    if (a.rows != a.cols)
+        menda_fatal("spgemm computes A x A and needs a square matrix "
+                    "(got ", a.rows, " x ", a.cols, ")");
+    core::SystemConfig config = systemFromFlags(opts);
+    core::MendaSystem sys(config);
+    core::SpgemmResult result = sys.spgemm(a, a);
+    if (opts.has("verify")) {
+        if (!(result.c == baselines::spgemmHeapMerge(a, a)))
+            menda_fatal("verification FAILED");
+        std::printf("verified against the heap-merge baseline\n");
+    }
+    if (!opts.has("json"))
+        std::printf("C = A x A: %lu partial products -> %lu output "
+                    "non-zeros\n",
+                    (unsigned long)result.partialProducts,
+                    (unsigned long)result.c.nnz());
+    printRunResult("spgemm", result, a, config, opts.has("json"));
+    return 0;
+}
+
+int
 cmdSweep(const Options &opts)
 {
     sparse::CsrMatrix a = loadMatrix(opts);
@@ -224,7 +267,8 @@ main(int argc, char **argv)
     using namespace menda;
     if (argc < 2) {
         std::fprintf(stderr,
-                     "usage: menda_sim <inspect|transpose|spmv|sweep> "
+                     "usage: menda_sim "
+                     "<inspect|transpose|spmv|spgemm|sweep> "
                      "[matrix.mtx] [--workload=NAME] [flags]\n");
         return 2;
     }
@@ -238,6 +282,8 @@ main(int argc, char **argv)
             return cmdTranspose(opts);
         if (cmd == "spmv")
             return cmdSpmv(opts);
+        if (cmd == "spgemm")
+            return cmdSpgemm(opts);
         if (cmd == "sweep")
             return cmdSweep(opts);
         std::fprintf(stderr, "unknown subcommand '%s'\n", cmd.c_str());
