@@ -11,21 +11,63 @@
  * Host-side knobs: --threads=N runs the cycle simulation sharded per
  * rank on N host threads (0 = hardware concurrency; default 1 =
  * sequential). Simulated results are bit-identical either way; only
- * wall-clock changes. Every run also emits BENCH_fig13.json
- * (--bench-json=PATH overrides the location) with wall-clock and
- * simulated-cycle numbers so the perf trajectory is machine-trackable.
+ * wall-clock changes. Every run also emits a menda.runReport/1 file
+ * BENCH_fig13_scalability.json (--bench-json=PATH overrides) with the
+ * per-configuration simulated metrics — what the CI perf gate diffs
+ * against bench/baselines/ — plus a tracing-overhead A/B: the N4
+ * 1-channel run repeated with and without a Tracer attached, reporting
+ * the sim-cycles/sec cost of enabling event tracing.
  */
 
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <thread>
 
 #include "bench_util.hh"
+#include "obs/trace.hh"
 #include "sparse/workloads.hh"
 
 using namespace menda;
 using namespace menda::bench;
+
+namespace
+{
+
+double
+wallSecondsSince(const std::chrono::steady_clock::time_point &start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/**
+ * The A/B overhead run: transpose @p a on one channel, traced or not,
+ * and return host sim-cycles/sec. Both arms force the sharded
+ * simulation path (attaching a tracer does; the untraced arm samples at
+ * a huge period for the same effect) so the comparison isolates the
+ * cost of event emission, not a path change.
+ */
+double
+overheadArm(const sparse::CsrMatrix &a, unsigned leaves,
+            unsigned threads, bool traced)
+{
+    core::SystemConfig config = channelSystem(1);
+    config.pu.leaves = leaves;
+    config.hostThreads = threads;
+    if (!traced)
+        config.samplePeriod = ~std::uint64_t(0) >> 1;
+    core::MendaSystem sys(config);
+    obs::Tracer tracer(std::size_t{1} << 20);
+    if (traced)
+        sys.setTracer(&tracer);
+    const auto start = std::chrono::steady_clock::now();
+    core::TransposeResult result = sys.transpose(a);
+    const double wall = wallSecondsSince(start);
+    return wall > 0.0 ? static_cast<double>(result.puCycles) / wall : 0.0;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -44,14 +86,15 @@ main(int argc, char **argv)
                 "Channels", "ExecTime(ms)", "Thrpt(MNNZ/s)", "Iters",
                 "BusUtil", "Wall(ms)");
 
-    std::ofstream json(opts.get("bench-json", "BENCH_fig13.json"));
+    ReportWriter writer(opts, "fig13_scalability");
+    writer.report().setMeta("scale", std::to_string(scale));
     // Record the host parallelism actually available: wall-clock speedup
     // from --threads is bounded by it (a 1-core container can only show
     // the sharded path's early-termination win, not thread scaling).
-    json << "{\"bench\":\"fig13_scalability\",\"scale\":" << scale
-         << ",\"hostThreads\":" << threads << ",\"hwConcurrency\":"
-         << std::thread::hardware_concurrency() << ",\"runs\":[";
-    bool first_run = true;
+    writer.report().setMeta("hostThreads", std::to_string(threads));
+    writer.report().setMeta(
+        "hwConcurrency",
+        std::to_string(std::thread::hardware_concurrency()));
     double wall_total_ms = 0.0;
 
     for (const auto &spec : sparse::table3Uniform()) {
@@ -64,50 +107,45 @@ main(int argc, char **argv)
             core::MendaSystem sys(config);
             const auto wall_start = std::chrono::steady_clock::now();
             core::TransposeResult result = sys.transpose(a);
-            const double wall_ms =
-                std::chrono::duration<double, std::milli>(
-                    std::chrono::steady_clock::now() - wall_start)
-                    .count();
-            wall_total_ms += wall_ms;
+            const double wall = wallSecondsSince(wall_start);
+            wall_total_ms += wall * 1e3;
             std::printf("%-6s %10u | %12.3f %14.1f | %6u %8.1f%% | "
                         "%10.1f\n",
                         spec.name.c_str(), channels,
                         result.seconds * 1e3,
                         result.throughputNnzPerSec(a.nnz()) / 1e6,
                         result.iterations,
-                        result.busUtilization * 100.0, wall_ms);
+                        result.busUtilization * 100.0, wall * 1e3);
             plot.point(channels,
                        result.throughputNnzPerSec(a.nnz()) / 1e6);
-            json << (first_run ? "" : ",") << "\n  {\"matrix\":\""
-                 << spec.name << "\",\"channels\":" << channels
-                 << ",\"pus\":" << config.totalPus()
-                 << ",\"nnz\":" << a.nnz();
-            // Host simulation speed: simulated PU cycles retired per
-            // wall-clock second — the figure of merit the indexed
-            // memory-controller scheduler improves.
-            const double sim_cycles_per_sec =
-                wall_ms > 0.0
-                    ? static_cast<double>(result.puCycles) /
-                          (wall_ms / 1e3)
-                    : 0.0;
-            char buf[224];
-            std::snprintf(buf, sizeof(buf),
-                          ",\"wallMs\":%.3f,\"simSeconds\":%.9g,"
-                          "\"puCycles\":%llu,\"simCyclesPerSec\":%.6g,"
-                          "\"iterations\":%u,"
-                          "\"readBlocks\":%llu,\"writeBlocks\":%llu}",
-                          wall_ms, result.seconds,
-                          (unsigned long long)result.puCycles,
-                          sim_cycles_per_sec, result.iterations,
-                          (unsigned long long)result.readBlocks,
-                          (unsigned long long)result.writeBlocks);
-            json << buf;
-            first_run = false;
+            writer.addRun(spec.name + ".c" +
+                              std::to_string(channels),
+                          config, result, a.nnz(), wall);
         }
     }
-    char total_buf[64];
-    std::snprintf(total_buf, sizeof(total_buf), "%.3f", wall_total_ms);
-    json << "\n],\"wallTotalMs\":" << total_buf << "}\n";
+    writer.report().setMetric("wallTotalMs", wall_total_ms);
+
+    // Tracing overhead A/B (N4, 1 channel): the `if (trace_)` emission
+    // sites should be nearly free when no tracer is attached; this
+    // records both rates so the report shows the actual cost. The
+    // metrics carry "traceOverhead" in their names, so the diff gate
+    // never fails on them (they are host-speed-dependent).
+    {
+        sparse::CsrMatrix a = sparse::makeWorkload(
+            sparse::findWorkload("N4"), scale);
+        const unsigned leaves = scaledLeaves(1024, scale);
+        const double off = overheadArm(a, leaves, threads, false);
+        const double on = overheadArm(a, leaves, threads, true);
+        const double pct =
+            off > 0.0 ? (off - on) / off * 100.0 : 0.0;
+        writer.report().setMetric("traceOverheadOffSimCyclesPerSec", off);
+        writer.report().setMetric("traceOverheadOnSimCyclesPerSec", on);
+        writer.report().setMetric("traceOverheadPct", pct);
+        std::printf("\nTracing overhead (N4, 1 channel): %.3g -> %.3g "
+                    "sim-cycles/s with tracing on (%.1f%%)\n",
+                    off, on, pct);
+    }
+
     plot.script("Fig. 13: throughput vs channels",
                 "set xlabel 'channels'\nset ylabel 'MNNZ/s'\n"
                 "plot for [i=0:7] datafile index i with linespoints "

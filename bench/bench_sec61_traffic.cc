@@ -4,12 +4,19 @@
  * reduces memory traffic by 11.2x versus mergeTrans while achieving
  * 2.7x higher bandwidth utilization. This harness measures both sides
  * in their respective simulators.
+ *
+ * Also emits a menda.runReport/1 file BENCH_sec61_traffic.json
+ * (--bench-json=PATH overrides) carrying the traffic metrics plus the
+ * per-rank DRAM command counts and their energy under
+ * power::DramPowerModel — the energy side of the traffic story.
  */
 
 #include <cstdio>
+#include <string>
 
 #include "baselines/merge_trans.hh"
 #include "bench_util.hh"
+#include "power/power_model.hh"
 #include "sparse/workloads.hh"
 #include "trace/replay.hh"
 
@@ -69,5 +76,39 @@ main(int argc, char **argv)
     std::printf("merge rounds on CPU: %lu, intermediate traffic %.1f "
                 "MB\n", (unsigned long)merge_stats.mergeRounds,
                 merge_stats.intermediateBytes / 1e6);
+
+    // Per-rank DRAM command counts -> energy. The per-rank split shows
+    // whether the NNZ-balanced partitioning also balances DRAM work.
+    ReportWriter writer(opts, "sec61_traffic");
+    writer.report().setMeta("matrix", name);
+    writer.report().setMeta("scale", std::to_string(scale));
+    writer.addRun("menda", config, menda, a.nnz());
+    writer.report().setMetric("cpuAlgoBytes", cpu_algo_mb * 1e6);
+    writer.report().setMetric("cpuDramBytes", double(cpu.dramBytes()));
+    writer.report().setMetric(
+        "trafficReductionAlgo",
+        cpu_algo_mb * 1e6 / (menda.totalBlocks() * 64.0));
+    power::DramPowerModel dram_power;
+    double total_energy = 0.0;
+    std::printf("\nper-rank DRAM energy (%.3f ms window):\n",
+                menda.seconds * 1e3);
+    for (std::size_t r = 0; r < menda.rankActivates.size(); ++r) {
+        const double joules =
+            dram_power.energyJ(menda.rankActivates[r],
+                               menda.rankBursts[r], menda.seconds);
+        total_energy += joules;
+        const std::string prefix = "rank" + std::to_string(r);
+        writer.report().setMetric(prefix + ".activates",
+                                  double(menda.rankActivates[r]));
+        writer.report().setMetric(prefix + ".bursts",
+                                  double(menda.rankBursts[r]));
+        writer.report().setMetric(prefix + ".energyJ", joules);
+        std::printf("  rank %2zu: %8lu ACT %8lu bursts %9.3f mJ\n", r,
+                    (unsigned long)menda.rankActivates[r],
+                    (unsigned long)menda.rankBursts[r], joules * 1e3);
+    }
+    writer.report().setMetric("dramEnergyTotalJ", total_energy);
+    std::printf("  total DRAM energy: %.3f mJ across %zu ranks\n",
+                total_energy * 1e3, menda.rankActivates.size());
     return 0;
 }

@@ -9,13 +9,14 @@
  * seconds against baseline wall seconds, the Fig. 10-style comparison),
  * and the host simulation speed in simulated PU cycles per wall second.
  * Every result is verified value-exact against the heap-merge oracle
- * before it is reported. Emits BENCH_spgemm.json (--bench-json=PATH
- * overrides) so the perf trajectory is machine-trackable.
+ * before it is reported. Emits a menda.runReport/1 file
+ * BENCH_spgemm.json (--bench-json=PATH overrides) so the perf
+ * trajectory is machine-trackable and CI can gate it with
+ * menda_report_diff.
  */
 
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -79,10 +80,9 @@ main(int argc, char **argv)
                 "nnz(A)", "partials", "iters", "sim(ms)", "heap(ms)",
                 "hash(ms)", "speedup", "simCyc/s");
 
-    std::ofstream json(opts.get("bench-json", "BENCH_spgemm.json"));
-    json << "{\"bench\":\"spgemm\",\"scale\":" << scale
-         << ",\"leaves\":" << leaves << ",\"runs\":[";
-    bool first = true;
+    ReportWriter writer(opts, "spgemm");
+    writer.report().setMeta("scale", std::to_string(scale));
+    writer.report().setMeta("leaves", std::to_string(leaves));
 
     for (const Case &c : buildCases(scale)) {
         core::SystemConfig config = channelSystem(1);
@@ -119,29 +119,20 @@ main(int argc, char **argv)
                     heap_timing.seconds * 1e3, hash_timing.seconds * 1e3,
                     speedup, sim_cycles_per_sec);
 
-        char buf[384];
-        std::snprintf(
-            buf, sizeof(buf),
-            "%s\n  {\"matrix\":\"%s\",\"nnzA\":%llu,\"nnzB\":%llu,"
-            "\"partialProducts\":%llu,\"outputNnz\":%llu,"
-            "\"iterations\":%u,\"simSeconds\":%.9g,"
-            "\"heapSeconds\":%.9g,\"hashSeconds\":%.9g,"
-            "\"speedupVsHeap\":%.4g,\"puCycles\":%llu,"
-            "\"wallMs\":%.3f,\"simCyclesPerSec\":%.6g,"
-            "\"occupancyPacketCycles\":%llu,\"leafPushStalls\":%llu}",
-            first ? "" : ",", c.name.c_str(),
-            (unsigned long long)c.a.nnz(), (unsigned long long)c.b.nnz(),
-            (unsigned long long)result.partialProducts,
-            (unsigned long long)result.c.nnz(), result.iterations,
-            result.seconds, heap_timing.seconds, hash_timing.seconds,
-            speedup, (unsigned long long)result.puCycles, wall_ms,
-            sim_cycles_per_sec,
-            (unsigned long long)result.treeOccupancyPacketCycles,
-            (unsigned long long)result.leafPushStallCycles);
-        json << buf;
-        first = false;
+        writer.addRun(c.name, config, result, c.a.nnz(), wall_ms / 1e3);
+        writer.report().setMetric(c.name + ".partialProducts",
+                                  double(result.partialProducts));
+        writer.report().setMetric(c.name + ".outputNnz",
+                                  double(result.c.nnz()));
+        // CPU baseline times are host wall-clock: name them so the
+        // default DiffOptions ignore them ("wall" substring).
+        writer.report().setMetric(c.name + ".heapWallSeconds",
+                                  heap_timing.seconds);
+        writer.report().setMetric(c.name + ".hashWallSeconds",
+                                  hash_timing.seconds);
+        writer.report().setMetric(c.name + ".speedupVsHeapWall",
+                                  speedup);
     }
-    json << "\n]}\n";
     std::printf("\nAll products verified value-exact against the "
                 "heap-merge baseline.\n");
     return 0;

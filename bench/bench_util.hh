@@ -17,10 +17,62 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "menda/run_report.hh"
 #include "menda/system.hh"
+#include "obs/report.hh"
 
 namespace menda::bench
 {
+
+/**
+ * Accumulates a bench's results into one obs::RunReport
+ * (menda.runReport/1) and writes it on destruction — the machine-
+ * trackable output that tools/menda_report_diff gates in CI. The
+ * default path is BENCH_<name>.json in the working directory;
+ * --bench-json=PATH overrides it.
+ */
+class ReportWriter
+{
+  public:
+    ReportWriter(const Options &opts, const std::string &bench_name)
+        : report_(bench_name),
+          path_(opts.get("bench-json", "BENCH_" + bench_name + ".json"))
+    {
+        report_.setMeta("bench", bench_name);
+    }
+
+    ~ReportWriter()
+    {
+        try {
+            report_.write(path_);
+        } catch (...) {
+            std::fprintf(stderr, "warning: could not write %s\n",
+                         path_.c_str());
+        }
+    }
+
+    obs::RunReport &report() { return report_; }
+
+    /**
+     * Flatten one kernel run into "<prefix>.<metric>" entries using the
+     * shared makeRunReport() metric names, so per-configuration results
+     * diff against baselines exactly like menda_sim reports.
+     */
+    void
+    addRun(const std::string &prefix, const core::SystemConfig &config,
+           const core::RunResult &result, std::uint64_t nnz,
+           double wall_seconds = 0.0)
+    {
+        const obs::RunReport run = core::makeRunReport(
+            prefix, "", config, result, nnz, wall_seconds);
+        for (const auto &[metric, value] : run.metrics())
+            report_.setMetric(prefix + "." + metric, value);
+    }
+
+  private:
+    obs::RunReport report_;
+    std::string path_;
+};
 
 /**
  * Optional figure-data export: when a harness is run with

@@ -17,6 +17,7 @@
 #ifndef MENDA_COMMON_STATS_HH
 #define MENDA_COMMON_STATS_HH
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -68,6 +69,124 @@ class AtomicCounter
 };
 
 /**
+ * A log-2 bucketed histogram of 64-bit samples (latencies, run lengths).
+ * Sample v lands in bucket floor(log2(v)) + 1; zero has its own bucket 0.
+ * Single-writer, like Counter. Histograms from joined shards can be
+ * merged bucket-wise, so per-shard instances aggregate exactly.
+ */
+class Histogram
+{
+  public:
+    static constexpr unsigned kBuckets = 65; ///< bucket 0 + one per bit
+
+    Histogram() = default;
+
+    void
+    record(std::uint64_t sample)
+    {
+        ++buckets_[bucketOf(sample)];
+        ++count_;
+        sum_ += sample;
+        if (sample < min_)
+            min_ = sample;
+        if (sample > max_)
+            max_ = sample;
+    }
+
+    /** Bucket-wise accumulate @p other into this histogram. */
+    void merge(const Histogram &other);
+
+    void reset() { *this = Histogram{}; }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    /** Smallest recorded sample; 0 when empty. */
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+    double mean() const
+    {
+        return count_ ? static_cast<double>(sum_) / count_ : 0.0;
+    }
+    std::uint64_t bucket(unsigned b) const { return buckets_[b]; }
+    /** Index of the highest non-empty bucket + 1 (0 when empty). */
+    unsigned usedBuckets() const;
+
+    static unsigned
+    bucketOf(std::uint64_t sample)
+    {
+        unsigned b = 0;
+        while (sample != 0) {
+            ++b;
+            sample >>= 1;
+        }
+        return b;
+    }
+
+  private:
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = ~std::uint64_t(0);
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * Periodic time series of a counter-like value: one sample per
+ * @p period cycles of the owning component's clock. Single-writer.
+ * A period of 0 disables sampling entirely (every call is a cheap
+ * compare). Components drive it from tick(): because a quiescent
+ * (skipped) window is by definition a no-op, the sampled value is
+ * constant across the window and the post-skip catch-up records it
+ * once at the first boundary after the skip — deterministically, since
+ * the component's cycle evolution is deterministic.
+ */
+class IntervalSampler
+{
+  public:
+    IntervalSampler() = default;
+
+    /** (Re)arm with a sample period in cycles; 0 disables. */
+    void
+    configure(std::uint64_t period)
+    {
+        period_ = period;
+        nextSampleAt_ = 0;
+        samples_.clear();
+        sampleCycles_.clear();
+    }
+
+    bool enabled() const { return period_ != 0; }
+    std::uint64_t period() const { return period_; }
+
+    /** Record @p value if a period boundary has been reached. */
+    void
+    sample(std::uint64_t now, std::uint64_t value)
+    {
+        if (period_ == 0 || now < nextSampleAt_)
+            return;
+        sampleCycles_.push_back(now);
+        samples_.push_back(value);
+        nextSampleAt_ = now - (now % period_) + period_;
+    }
+
+    const std::vector<std::uint64_t> &values() const { return samples_; }
+    const std::vector<std::uint64_t> &cycles() const
+    {
+        return sampleCycles_;
+    }
+    std::uint64_t lastValue() const
+    {
+        return samples_.empty() ? 0 : samples_.back();
+    }
+
+  private:
+    std::uint64_t period_ = 0;
+    std::uint64_t nextSampleAt_ = 0;
+    std::vector<std::uint64_t> samples_;
+    std::vector<std::uint64_t> sampleCycles_;
+};
+
+/**
  * A flat registry of statistics belonging to one component instance.
  * Children may be attached to build hierarchical names ("pu0.tree.pops").
  */
@@ -85,6 +204,12 @@ class StatGroup
     /** Register a derived (computed on demand) floating point stat. */
     void add(const std::string &stat_name, double *value);
 
+    /** Register a histogram; collect() flattens its summary stats. */
+    void add(const std::string &stat_name, const Histogram &histogram);
+
+    /** Register a sampler; collect() flattens its summary stats. */
+    void add(const std::string &stat_name, const IntervalSampler &sampler);
+
     /** Attach a child group; its stats are prefixed with its name. */
     void addChild(const StatGroup &child);
 
@@ -93,6 +218,20 @@ class StatGroup
     /** Collect all stats (recursively) as fully-qualified name → value. */
     std::map<std::string, double> collect() const;
 
+    /** Registered histograms of this group (no children), in add order. */
+    const std::vector<std::pair<std::string, const Histogram *>> &
+    histograms() const
+    {
+        return histograms_;
+    }
+
+    /** Registered samplers of this group (no children), in add order. */
+    const std::vector<std::pair<std::string, const IntervalSampler *>> &
+    samplers() const
+    {
+        return samplers_;
+    }
+
     /** Pretty-print all stats to @p os, one per line. */
     void dump(std::ostream &os) const;
 
@@ -100,10 +239,15 @@ class StatGroup
     void dumpJson(std::ostream &os) const;
 
   private:
+    /** menda_assert that @p stat_name is not yet registered here. */
+    void checkFresh(const std::string &stat_name) const;
+
     std::string name_;
     std::vector<std::pair<std::string, const Counter *>> counters_;
     std::vector<std::pair<std::string, const AtomicCounter *>> atomics_;
     std::vector<std::pair<std::string, const double *>> scalars_;
+    std::vector<std::pair<std::string, const Histogram *>> histograms_;
+    std::vector<std::pair<std::string, const IntervalSampler *>> samplers_;
     std::vector<const StatGroup *> children_;
 };
 

@@ -18,6 +18,8 @@ MemoryController::MemoryController(std::string name,
       ranks_(config.ranks),
       nextReadCmdGroup_(config.ranks * config.bankGroups, 0),
       nextWriteCmdGroup_(config.ranks * config.bankGroups, 0),
+      rankActivates_(config.ranks),
+      rankBursts_(config.ranks),
       stats_(name_)
 {
     for (auto &rank : ranks_) {
@@ -55,8 +57,41 @@ MemoryController::MemoryController(std::string name,
     stats_.add("busBusyCycles", busBusy_);
     stats_.add("readQueueFull", readQueueFullEvents_);
     stats_.add("writeQueueFull", writeQueueFullEvents_);
+    for (unsigned r = 0; r < config_.ranks; ++r) {
+        stats_.add("rank" + std::to_string(r) + ".activates",
+                   rankActivates_[r]);
+        stats_.add("rank" + std::to_string(r) + ".bursts",
+                   rankBursts_[r]);
+    }
+    stats_.add("readLatency", readLatency_);
+    readDepth_.configure(config_.samplePeriod);
+    writeDepth_.configure(config_.samplePeriod);
+    stats_.add("readQueueDepth", readDepth_);
+    stats_.add("writeQueueDepth", writeDepth_);
     readQueue_.registerStats(stats_, "readQueue");
     writeQueue_.registerStats(stats_, "writeQueue");
+}
+
+void
+MemoryController::attachTrace(obs::TraceShard *shard)
+{
+    trace_ = shard;
+    traceBankTracks_.clear();
+    for (unsigned fb = 0; fb < config_.totalBanks(); ++fb)
+        traceBankTracks_.push_back(
+            shard->addTrack(name_ + ".bank" + std::to_string(fb),
+                            obs::TrackKind::Instant, config_.freqMhz));
+    traceReadDepth_ = shard->addTrack(name_ + ".readQueueDepth",
+                                      obs::TrackKind::Counter,
+                                      config_.freqMhz);
+    traceWriteDepth_ = shard->addTrack(name_ + ".writeQueueDepth",
+                                       obs::TrackKind::Counter,
+                                       config_.freqMhz);
+    nameAct_ = shard->internName("ACT");
+    namePre_ = shard->internName("PRE");
+    nameRead_ = shard->internName("RD");
+    nameWrite_ = shard->internName("WR");
+    nameRef_ = shard->internName("REF");
 }
 
 bool
@@ -64,6 +99,7 @@ MemoryController::enqueue(const mem::MemRequest &req)
 {
     mem::MemRequest aligned = req;
     aligned.addr = blockAlign(req.addr) % config_.totalBytes();
+    aligned.enqueuedAt = now_;
     const DramCoord coord = decoder_.decode(aligned.addr);
     aligned.coord = coord.toDecoded(config_);
 
@@ -167,12 +203,28 @@ MemoryController::quiescentFor() const
 }
 
 void
+MemoryController::sampleDepths()
+{
+    const std::size_t before = readDepth_.values().size();
+    readDepth_.sample(now_, readQueue_.size());
+    writeDepth_.sample(now_, writeQueue_.size());
+    if (trace_ && readDepth_.values().size() != before) {
+        trace_->counter(traceReadDepth_, now_, readQueue_.size());
+        trace_->counter(traceWriteDepth_, now_, writeQueue_.size());
+    }
+}
+
+void
 MemoryController::tick()
 {
+    if (readDepth_.enabled())
+        sampleDepths();
+
     // Deliver read data whose burst completed.
     while (!pendingResponses_.empty() &&
            pendingResponses_.front().first <= now_) {
         const mem::MemRequest &resp = pendingResponses_.front().second;
+        readLatency_.record(now_ - resp.enqueuedAt);
         if (callback_ && (!responseFilter_ || responseFilter_(resp)))
             callback_(resp);
         pendingResponses_.pop_front();
@@ -635,7 +687,10 @@ MemoryController::issueActivate(const DramCoord &coord)
         rekeyBank(true, fb, 0);
     }
     ++activates_;
+    ++rankActivates_[coord.rank];
     commandIssued_ = true;
+    if (trace_)
+        trace_->instant(traceBankTracks_[fb], nameAct_, now_);
     if (commandCallback_)
         commandCallback_(CommandType::Activate, coord, now_);
 }
@@ -697,6 +752,8 @@ MemoryController::issuePrecharge(const DramCoord &coord)
     }
     ++precharges_;
     commandIssued_ = true;
+    if (trace_)
+        trace_->instant(traceBankTracks_[fb], namePre_, now_);
     if (commandCallback_)
         commandCallback_(CommandType::Precharge, coord, now_);
 }
@@ -737,7 +794,11 @@ MemoryController::issueBurst(const DramCoord &coord,
                                        req);
         ++reads_;
     }
+    ++rankBursts_[coord.rank];
     commandIssued_ = true;
+    if (trace_)
+        trace_->instant(traceBankTracks_[coord.flatBank(config_)],
+                        is_write ? nameWrite_ : nameRead_, now_);
     if (commandCallback_)
         commandCallback_(is_write ? CommandType::Write
                                   : CommandType::Read,
@@ -792,6 +853,11 @@ MemoryController::maybeRefresh()
         rekeyRankBanks(r);
         ++refreshes_;
         commandIssued_ = true;
+        if (trace_)
+            trace_->instant(
+                traceBankTracks_[r * config_.bankGroups *
+                                 config_.banksPerGroup],
+                nameRef_, now_);
         if (commandCallback_)
             commandCallback_(CommandType::Refresh, DramCoord{r, 0, 0, 0, 0},
                              now_);

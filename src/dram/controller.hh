@@ -38,6 +38,7 @@
 #include "dram/address.hh"
 #include "dram/dram_config.hh"
 #include "mem/request_queue.hh"
+#include "obs/trace.hh"
 #include "sim/clock.hh"
 
 namespace menda::dram
@@ -79,6 +80,13 @@ class MemoryController : public Ticked
     {
         commandCallback_ = std::move(callback);
     }
+
+    /**
+     * Emit command instants (one track per bank) and queue-depth
+     * counter samples onto @p shard. Call from the owning thread before
+     * the first tick; tracks are registered here, deterministically.
+     */
+    void attachTrace(obs::TraceShard *shard);
 
     /**
      * Fault-injection hook: called before each read response is
@@ -137,6 +145,27 @@ class MemoryController : public Ticked
     std::uint64_t activates() const { return activates_.value(); }
     std::uint64_t refreshes() const { return refreshes_.value(); }
     std::uint64_t busBusyCycles() const { return busBusy_.value(); }
+
+    /** Activates issued to rank @p r (input to the DRAM power model). */
+    std::uint64_t rankActivates(unsigned r) const
+    {
+        return rankActivates_[r].value();
+    }
+    /** RD/WR bursts issued to rank @p r. */
+    std::uint64_t rankBursts(unsigned r) const
+    {
+        return rankBursts_[r].value();
+    }
+
+    /** Round-trip latency of served reads, enqueue to data delivery. */
+    const Histogram &readLatency() const { return readLatency_; }
+
+    /** Periodic RD/WR queue-depth samples (DramConfig::samplePeriod). */
+    const IntervalSampler &readDepthSamples() const { return readDepth_; }
+    const IntervalSampler &writeDepthSamples() const
+    {
+        return writeDepth_;
+    }
 
     /** Bytes moved over the data bus so far. */
     std::uint64_t bytesTransferred() const
@@ -311,6 +340,19 @@ class MemoryController : public Ticked
     Counter reads_, writes_, rowHits_, rowMisses_, rowConflicts_;
     Counter activates_, precharges_, refreshes_, busBusy_;
     Counter readQueueFullEvents_, writeQueueFullEvents_;
+    std::vector<Counter> rankActivates_, rankBursts_;
+    Histogram readLatency_;
+    IntervalSampler readDepth_, writeDepth_;
+
+    // Event tracing (null when untraced; single-writer like the stats).
+    obs::TraceShard *trace_ = nullptr;
+    std::vector<std::uint32_t> traceBankTracks_;
+    std::uint32_t traceReadDepth_ = 0, traceWriteDepth_ = 0;
+    std::uint32_t nameAct_ = 0, namePre_ = 0, nameRead_ = 0;
+    std::uint32_t nameWrite_ = 0, nameRef_ = 0;
+
+    void sampleDepths();
+
     StatGroup stats_;
 };
 

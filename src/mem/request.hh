@@ -51,6 +51,7 @@ struct MemRequest
     Stream stream = Stream::None;
     std::uint64_t id = 0;   ///< unique tag assigned at enqueue
     std::uint32_t coalesced = 0; ///< additional requesters merged in
+    Cycle enqueuedAt = 0;   ///< controller cycle of queue acceptance
 
     /** Filled by the memory controller at enqueue (see DecodedCoord). */
     DecodedCoord coord;

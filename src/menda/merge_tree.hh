@@ -92,6 +92,9 @@ class MergeTree
         return occupancyCycles_.value();
     }
 
+    /** Packets currently buffered anywhere in the tree. */
+    std::uint64_t occupancy() const { return buffered_; }
+
     void
     registerStats(StatGroup &group) const
     {

@@ -37,8 +37,37 @@ Pu::commonInit()
     stats_.add("assignments", assignments_);
     stats_.add("retries", retries_);
     stats_.add("leafPushStalls", pushStalls_);
+    stallStart_.assign(config_.leaves, 0);
+    stats_.add("leafStallRun", leafStallRuns_);
+    occupancySamples_.configure(config_.samplePeriod);
+    stats_.add("treeOccupancy", occupancySamples_);
     tree_.registerStats(stats_);
     output_.registerStats(stats_);
+}
+
+void
+Pu::attachTrace(obs::TraceShard *shard)
+{
+    trace_ = shard;
+    tracePhases_ = shard->addTrack(name_ + ".phases", obs::TrackKind::Span,
+                                   config_.freqMhz);
+    traceRounds_ = shard->addTrack(name_ + ".rounds",
+                                   obs::TrackKind::Instant,
+                                   config_.freqMhz);
+    traceOccupancy_ = shard->addTrack(name_ + ".treeOccupancy",
+                                      obs::TrackKind::Counter,
+                                      config_.freqMhz);
+    nameDrain_ = shard->internName("drain");
+    nameRound_ = shard->internName("round");
+}
+
+void
+Pu::sampleOccupancy()
+{
+    const std::size_t before = occupancySamples_.values().size();
+    occupancySamples_.sample(cycle_, tree_.occupancy());
+    if (trace_ && occupancySamples_.values().size() != before)
+        trace_->counter(traceOccupancy_, cycle_, tree_.occupancy());
 }
 
 Pu::Pu(std::string name, const PuConfig &config,
@@ -603,7 +632,13 @@ Pu::doPushQueue()
             continue;
         if (!tree_.canPush(b)) {
             ++pushStalls_;
+            if (stallStart_[b] == 0)
+                stallStart_[b] = cycle_; // cycle_ >= 1 while running
             continue; // leaf FIFO full; freedSlots() will wake us
+        }
+        if (stallStart_[b] != 0) {
+            leafStallRuns_.record(cycle_ - stallStart_[b]);
+            stallStart_[b] = 0;
         }
         tree_.push(b, buf.popPacket());
         noteBufferActivity(b);
@@ -688,6 +723,12 @@ Pu::finishIteration()
         mem_->readQueue().coalescedHits().value() - iterStartCoalesced_;
     iterStats_.push_back(st);
 
+    if (trace_)
+        trace_->span(
+            tracePhases_,
+            trace_->internName("iter" + std::to_string(iteration_)),
+            iterStartCycle_, cycle_);
+
     menda_assert(tree_.drained(), "merge tree not drained at iteration end");
 
     if (finalIteration_) {
@@ -720,6 +761,7 @@ Pu::finishIteration()
             for (std::size_t i = 0; i < merged.size(); ++i)
                 resultVec_[merged.row[i]] = merged.val[i];
         }
+        drainStartCycle_ = cycle_;
         phase_ = Phase::Draining;
         return;
     }
@@ -750,9 +792,16 @@ Pu::tick()
         return;
     ++cycle_;
 
+    if (occupancySamples_.enabled())
+        sampleOccupancy();
+
     if (phase_ == Phase::Draining) {
-        if (mem_->idle())
+        if (mem_->idle()) {
+            if (trace_)
+                trace_->span(tracePhases_, nameDrain_, drainStartCycle_,
+                             cycle_);
             phase_ = Phase::Done;
+        }
         return;
     }
 
@@ -792,6 +841,12 @@ Pu::tick()
 
     doRootPop();
     tree_.tick();
+    if (trace_) {
+        while (traceRoundsSeen_ < tree_.roundsCompleted()) {
+            trace_->instant(traceRounds_, nameRound_, cycle_);
+            ++traceRoundsSeen_;
+        }
+    }
     for (unsigned slot : tree_.freedSlots()) {
         if (buffers_[slot]->hasPacket() && !inPushQueue_[slot]) {
             inPushQueue_[slot] = true;

@@ -38,6 +38,7 @@
 #include "menda/prefetch_buffer.hh"
 #include "menda/pu_config.hh"
 #include "menda/stream.hh"
+#include "obs/trace.hh"
 #include "sparse/format.hh"
 #include "spgemm/partial_products.hh"
 #include "sim/clock.hh"
@@ -151,6 +152,22 @@ class Pu : public Ticked
     /** Buffer-cycles a ready packet was blocked on a full leaf FIFO. */
     std::uint64_t leafPushStallCycles() const { return pushStalls_.value(); }
 
+    /** Lengths (in PU cycles) of contiguous leaf-push stall runs. */
+    const Histogram &leafStallRuns() const { return leafStallRuns_; }
+
+    /** Periodic merge-tree occupancy samples (PuConfig::samplePeriod). */
+    const IntervalSampler &occupancySamples() const
+    {
+        return occupancySamples_;
+    }
+
+    /**
+     * Emit phase spans, fetch-round instants, and occupancy counter
+     * samples onto @p shard. Call from the owning thread before the
+     * first tick.
+     */
+    void attachTrace(obs::TraceShard *shard);
+
   private:
     enum class Phase : std::uint8_t
     {
@@ -263,6 +280,20 @@ class Pu : public Ticked
 
     Counter loads_, stores_, responsesHandled_, assignments_, retries_;
     Counter pushStalls_;
+    Histogram leafStallRuns_;
+    std::vector<Cycle> stallStart_; ///< per slot; 0 = not stalled
+    IntervalSampler occupancySamples_;
+
+    // Event tracing (null when untraced; single-writer like the stats).
+    obs::TraceShard *trace_ = nullptr;
+    std::uint32_t tracePhases_ = 0, traceRounds_ = 0;
+    std::uint32_t traceOccupancy_ = 0;
+    std::uint32_t nameDrain_ = 0, nameRound_ = 0;
+    std::uint64_t traceRoundsSeen_ = 0;
+    Cycle drainStartCycle_ = 0;
+
+    void sampleOccupancy();
+
     StatGroup stats_;
 };
 

@@ -1,0 +1,81 @@
+#include "menda/run_report.hh"
+
+#include <numeric>
+#include <string>
+
+namespace menda::core
+{
+
+obs::RunReport
+makeRunReport(const std::string &name, const std::string &kernel,
+              const SystemConfig &config, const RunResult &result,
+              std::uint64_t nnz, double wall_seconds)
+{
+    obs::RunReport report(name);
+    report.setMeta("kernel", kernel);
+    report.setMeta("pus", std::to_string(config.totalPus()));
+    report.setMeta("leaves", std::to_string(config.pu.leaves));
+    report.setMeta("freqMhz", std::to_string(config.pu.freqMhz));
+
+    report.setMetric("seconds", result.seconds);
+    report.setMetric("puCycles", static_cast<double>(result.puCycles));
+    report.setMetric("iterations", result.iterations);
+    report.setMetric("readBlocks",
+                     static_cast<double>(result.readBlocks));
+    report.setMetric("writeBlocks",
+                     static_cast<double>(result.writeBlocks));
+    report.setMetric("totalBlocks",
+                     static_cast<double>(result.totalBlocks()));
+    report.setMetric("coalescedRequests",
+                     static_cast<double>(result.coalescedRequests));
+    report.setMetric("rowConflicts",
+                     static_cast<double>(result.rowConflicts));
+    report.setMetric("activates", static_cast<double>(result.activates));
+    report.setMetric("busUtilization", result.busUtilization);
+    report.setMetric("achievedBandwidth", result.achievedBandwidth());
+    report.setMetric("treeOccupancyPacketCycles",
+                     static_cast<double>(result.treeOccupancyPacketCycles));
+    report.setMetric("leafPushStallCycles",
+                     static_cast<double>(result.leafPushStallCycles));
+    report.setMetric("outputStallCycles",
+                     static_cast<double>(result.outputStallCycles));
+    if (nnz != 0) {
+        report.setMetric("nnz", static_cast<double>(nnz));
+        report.setMetric("throughputNnzPerSec",
+                         result.throughputNnzPerSec(nnz));
+    }
+
+    const std::uint64_t total_activates = std::accumulate(
+        result.rankActivates.begin(), result.rankActivates.end(),
+        std::uint64_t{0});
+    const std::uint64_t total_bursts = std::accumulate(
+        result.rankBursts.begin(), result.rankBursts.end(),
+        std::uint64_t{0});
+    report.setMetric("rankActivatesTotal",
+                     static_cast<double>(total_activates));
+    report.setMetric("rankBurstsTotal", static_cast<double>(total_bursts));
+
+    // Host-dependent rates: diff-ignored by name ("wall",
+    // "CyclesPerSec" in DiffOptions::ignoreSubstrings). These are the
+    // only metrics that vary across hosts or thread counts — everything
+    // above is a deterministic simulation output, so two reports of the
+    // same run built with wall_seconds <= 0 are byte-identical.
+    if (wall_seconds > 0.0) {
+        report.setMetric("wallSeconds", wall_seconds);
+        report.setMetric("simCyclesPerSec",
+                         static_cast<double>(result.puCycles) /
+                             wall_seconds);
+    }
+
+    if (result.readLatency.count() != 0)
+        report.addHistogram("readLatency", result.readLatency);
+    if (result.leafStallRuns.count() != 0)
+        report.addHistogram("leafStallRuns", result.leafStallRuns);
+    if (result.treeOccupancy.enabled())
+        report.addSeries("treeOccupancy", result.treeOccupancy);
+    if (result.readQueueDepth.enabled())
+        report.addSeries("readQueueDepth", result.readQueueDepth);
+    return report;
+}
+
+} // namespace menda::core

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Build an obs::RunReport from a kernel's RunResult.
+ *
+ * One place defines which metrics a MeNDA run exports, so the CLI
+ * (`menda_sim --report`) and the bench harnesses emit reports with
+ * identical metric names and tools/menda_report_diff can compare any
+ * two of them. Deterministic simulation outputs (cycles, traffic,
+ * stalls) become gated metrics; host-dependent rates (wall time,
+ * sim-cycles/sec) use names the default DiffOptions ignore.
+ */
+
+#ifndef MENDA_MENDA_RUN_REPORT_HH
+#define MENDA_MENDA_RUN_REPORT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "menda/system.hh"
+#include "obs/report.hh"
+
+namespace menda::core
+{
+
+/**
+ * Flatten @p result into a report named @p name.
+ *
+ * @param kernel        "transpose" | "spmv" | "spgemm" (meta annotation)
+ * @param nnz           input non-zeros (throughput metric); 0 to skip
+ * @param wall_seconds  host wall time of the run; <= 0 to skip the
+ *                      wall/sim-rate metrics (they are diff-ignored
+ *                      either way)
+ */
+obs::RunReport makeRunReport(const std::string &name,
+                             const std::string &kernel,
+                             const SystemConfig &config,
+                             const RunResult &result, std::uint64_t nnz,
+                             double wall_seconds = 0.0);
+
+} // namespace menda::core
+
+#endif // MENDA_MENDA_RUN_REPORT_HH

@@ -1,6 +1,8 @@
 #include "menda/system.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 
 #include "common/log.hh"
 #include "sim/clock.hh"
@@ -9,6 +11,30 @@
 
 namespace menda::core
 {
+
+namespace
+{
+
+/** One --progress heartbeat line on stderr (never stdout: that may be
+ *  carrying the machine-readable run report). */
+void
+emitProgress(std::size_t shard, Cycle cycles,
+             std::chrono::steady_clock::time_point wall_start,
+             std::uint64_t outstanding)
+{
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    const double rate = secs > 0.0 ? cycles / secs / 1e6 : 0.0;
+    std::fprintf(stderr,
+                 "[menda] shard %zu: %.0f Mcycles, %.1f Msim-cycles/s, "
+                 "%llu outstanding requests\n",
+                 shard, static_cast<double>(cycles) / 1e6, rate,
+                 static_cast<unsigned long long>(outstanding));
+}
+
+} // namespace
 
 template <typename PuVec, typename MemVec>
 void
@@ -35,9 +61,19 @@ MendaSystem::collect(RunResult &result, const PuVec &pus,
             pu.tree().occupancyPacketCycles();
         result.leafPushStallCycles += pu.leafPushStallCycles();
         result.outputStallCycles += pu.outputStallCycles();
+        result.readLatency.merge(mem.readLatency());
+        result.leafStallRuns.merge(pu.leafStallRuns());
+        for (unsigned r = 0; r < mem.config().ranks; ++r) {
+            result.rankActivates.push_back(mem.rankActivates(r));
+            result.rankBursts.push_back(mem.rankBursts(r));
+        }
         bus_cycles_total += mem.busBusyCycles();
         elapsed_mem_cycles = std::max(elapsed_mem_cycles, mem.curCycle());
         lastIterStats_.push_back(pu.iterationStats());
+    }
+    if (!pus.empty()) {
+        result.treeOccupancy = pus[0]->occupancySamples();
+        result.readQueueDepth = mems[0]->readDepthSamples();
     }
     if (elapsed_mem_cycles > 0)
         result.busUtilization =
@@ -53,7 +89,22 @@ MendaSystem::simulate(std::vector<std::unique_ptr<Pu>> &pus,
     menda_assert(pus.size() == mems.size(),
                  "simulate: PU/controller count mismatch");
 
-    if (config_.hostThreads == 1) {
+    const std::uint64_t progress_every = config_.progressEveryCycles;
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    // Observability forces the sharded path even on one host thread:
+    // the shared-scheduler mode below skips a domain only when every
+    // component of every rank is quiescent, so its idle-skip windows —
+    // and with them the trace spans and sampler timestamps — differ
+    // from the per-rank schedules. Per-rank results are bit-identical
+    // either way (the PR-1 guarantee), and the sharded schedule does
+    // not depend on the host thread count, which is what makes traces
+    // and reports byte-identical between --threads 1 and --threads N.
+    const bool observed = tracer_ != nullptr ||
+                          config_.pu.samplePeriod != 0 ||
+                          config_.dram.samplePeriod != 0;
+
+    if (config_.hostThreads == 1 && !observed) {
         // Legacy sequential mode: all pairs share one scheduler and the
         // run ends when the slowest PU finishes.
         TickScheduler sched;
@@ -66,7 +117,17 @@ MendaSystem::simulate(std::vector<std::unique_ptr<Pu>> &pus,
         }
         for (auto &pu : pus)
             pu->start();
+        Cycle next_mark = progress_every;
         sched.runUntil([&] {
+            if (progress_every != 0 && pu_clk->curCycle() >= next_mark) {
+                std::uint64_t outstanding = 0;
+                for (const auto &mem : mems)
+                    outstanding += mem->readQueue().size() +
+                                   mem->writeQueue().size();
+                emitProgress(0, pu_clk->curCycle(), wall_start,
+                             outstanding);
+                next_mark += progress_every;
+            }
             return std::all_of(pus.begin(), pus.end(),
                                [](const auto &pu) { return pu->done(); });
         });
@@ -82,17 +143,37 @@ MendaSystem::simulate(std::vector<std::unique_ptr<Pu>> &pus,
     // its own PU's completion tick; the simulated time of the run is
     // the slowest shard's clock, exactly as in the shared-scheduler
     // mode, and all outputs and counters are bit-identical to it.
+    if (tracer_)
+        tracer_->ensureShards(pus.size());
     std::vector<double> shard_seconds(pus.size(), 0.0);
     ParallelRunner pool(config_.hostThreads);
     pool.run(pus.size(), [&](std::size_t i) {
         TickScheduler sched;
+        if (tracer_) {
+            // Shard i is written only by this job; registration order
+            // (controller, PU, then the scheduler's idle-skip tracks at
+            // finalize) is fixed, so the trace is deterministic.
+            obs::TraceShard *shard = tracer_->shard(i);
+            sched.setTrace(shard);
+            mems[i]->attachTrace(shard);
+            pus[i]->attachTrace(shard);
+        }
         ClockDomain *pu_clk = sched.addDomain("pu", config_.pu.freqMhz);
         ClockDomain *mem_clk = sched.addDomain("dram",
                                                config_.dram.freqMhz);
         mem_clk->attach(mems[i].get());
         pu_clk->attach(pus[i].get());
         pus[i]->start();
-        sched.runUntil([&] { return pus[i]->done(); });
+        Cycle next_mark = progress_every;
+        sched.runUntil([&] {
+            if (progress_every != 0 && pus[i]->cycles() >= next_mark) {
+                emitProgress(i, pus[i]->cycles(), wall_start,
+                             mems[i]->readQueue().size() +
+                                 mems[i]->writeQueue().size());
+                next_mark += progress_every;
+            }
+            return pus[i]->done();
+        });
         shard_seconds[i] = sched.seconds();
     });
     return *std::max_element(shard_seconds.begin(), shard_seconds.end());

@@ -15,10 +15,12 @@
 #include <memory>
 #include <vector>
 
+#include "common/stats.hh"
 #include "dram/controller.hh"
 #include "dram/dram_config.hh"
 #include "menda/pu.hh"
 #include "menda/pu_config.hh"
+#include "obs/trace.hh"
 #include "sparse/format.hh"
 #include "sparse/partition.hh"
 
@@ -51,6 +53,20 @@ struct SystemConfig
      * every mode.
      */
     unsigned hostThreads = 1;
+
+    /**
+     * Period, in component cycles, of the time-series samplers (merge
+     * tree occupancy, RD/WR queue depth). 0 disables sampling. A
+     * non-zero period is propagated into PuConfig and DramConfig at
+     * system construction.
+     */
+    std::uint64_t samplePeriod = 0;
+
+    /**
+     * Emit a progress heartbeat line on stderr every this many
+     * simulated PU cycles (per shard). 0 disables the heartbeat.
+     */
+    std::uint64_t progressEveryCycles = 0;
 
     /** One PU per rank. */
     unsigned
@@ -87,6 +103,20 @@ struct RunResult
     std::uint64_t treeOccupancyPacketCycles = 0;
     std::uint64_t leafPushStallCycles = 0;
     std::uint64_t outputStallCycles = 0;
+
+    // Distributions, merged bucket-wise across all shards.
+    Histogram readLatency;   ///< read round-trip, memory-clock cycles
+    Histogram leafStallRuns; ///< leaf-push stall run lengths, PU cycles
+
+    // Per-rank command counts, flattened in (controller, rank) order —
+    // the inputs to power::DramPowerModel::energyJ.
+    std::vector<std::uint64_t> rankActivates;
+    std::vector<std::uint64_t> rankBursts;
+
+    // Representative time series (PU 0 / controller 0); empty unless
+    // SystemConfig::samplePeriod was set.
+    IntervalSampler treeOccupancy;
+    IntervalSampler readQueueDepth;
 
     std::uint64_t totalBlocks() const { return readBlocks + writeBlocks; }
 
@@ -126,9 +156,25 @@ struct SpgemmResult : RunResult
 class MendaSystem
 {
   public:
-    explicit MendaSystem(const SystemConfig &config) : config_(config) {}
+    explicit MendaSystem(const SystemConfig &config) : config_(config)
+    {
+        if (config_.samplePeriod != 0) {
+            config_.pu.samplePeriod = config_.samplePeriod;
+            config_.dram.samplePeriod = config_.samplePeriod;
+        }
+    }
 
     const SystemConfig &config() const { return config_; }
+
+    /**
+     * Trace the next run into @p tracer (one shard per rank). The
+     * tracer must outlive the run; pass nullptr to stop tracing. Use a
+     * fresh Tracer per run. Traced (or sampled) runs always take the
+     * sharded simulation path — even with hostThreads == 1 — so the
+     * idle-skip schedule, and with it the trace, is identical for every
+     * host thread count.
+     */
+    void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
 
     /** Transpose @p a (CSR -> CSC) across all PUs; cycle simulated. */
     TransposeResult transpose(const sparse::CsrMatrix &a);
@@ -174,6 +220,7 @@ class MendaSystem
              std::vector<std::unique_ptr<dram::MemoryController>> &mems);
 
     SystemConfig config_;
+    obs::Tracer *tracer_ = nullptr;
     std::vector<std::vector<IterationStats>> lastIterStats_;
 };
 

@@ -1,0 +1,323 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace menda::obs::json
+{
+
+namespace
+{
+
+const Value nullValue;
+
+[[noreturn]] void
+fail(const std::string &text, std::size_t pos, const std::string &what)
+{
+    throw std::runtime_error("json: " + what + " at offset " +
+                             std::to_string(pos) + " of " +
+                             std::to_string(text.size()) + " bytes");
+}
+
+struct Parser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        if (pos >= text.size())
+            fail(text, pos, "unexpected end of input");
+        return text[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(text, pos,
+                 std::string("expected '") + c + "', got '" + text[pos] +
+                     "'");
+        ++pos;
+    }
+
+    bool
+    consume(const std::string &word)
+    {
+        if (text.compare(pos, word.size(), word) != 0)
+            return false;
+        pos += word.size();
+        return true;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos >= text.size())
+                fail(text, pos, "unterminated string");
+            char c = text[pos++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size())
+                fail(text, pos, "dangling escape");
+            char e = text[pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos + 4 > text.size())
+                    fail(text, pos, "truncated \\u escape");
+                const std::string hex = text.substr(pos, 4);
+                char *end = nullptr;
+                const long code = std::strtol(hex.c_str(), &end, 16);
+                if (end != hex.c_str() + 4)
+                    fail(text, pos, "bad \\u escape");
+                pos += 4;
+                // ASCII only; anything else is passed through as '?'
+                // (the observability layer never emits non-ASCII).
+                out += code < 0x80 ? static_cast<char>(code) : '?';
+                break;
+              }
+              default:
+                fail(text, pos, "unknown escape");
+            }
+        }
+    }
+
+    Value
+    parseNumber()
+    {
+        const std::size_t start = pos;
+        if (peek() == '-')
+            ++pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+                text[pos] == '+' || text[pos] == '-'))
+            ++pos;
+        const std::string token = text.substr(start, pos - start);
+        char *end = nullptr;
+        const double d = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size() || token.empty())
+            fail(text, start, "malformed number '" + token + "'");
+        return Value(d);
+    }
+
+    Value
+    parseValue()
+    {
+        skipSpace();
+        const char c = peek();
+        if (c == '{') {
+            ++pos;
+            Object obj;
+            skipSpace();
+            if (peek() == '}') {
+                ++pos;
+                return Value(std::move(obj));
+            }
+            while (true) {
+                skipSpace();
+                std::string key = parseString();
+                skipSpace();
+                expect(':');
+                obj.emplace(std::move(key), parseValue());
+                skipSpace();
+                if (peek() == ',') {
+                    ++pos;
+                    continue;
+                }
+                expect('}');
+                return Value(std::move(obj));
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            Array arr;
+            skipSpace();
+            if (peek() == ']') {
+                ++pos;
+                return Value(std::move(arr));
+            }
+            while (true) {
+                arr.push_back(parseValue());
+                skipSpace();
+                if (peek() == ',') {
+                    ++pos;
+                    continue;
+                }
+                expect(']');
+                return Value(std::move(arr));
+            }
+        }
+        if (c == '"')
+            return Value(parseString());
+        if (consume("true"))
+            return Value(true);
+        if (consume("false"))
+            return Value(false);
+        if (consume("null"))
+            return Value();
+        return parseNumber();
+    }
+};
+
+void
+serializeInto(const Value &v, std::string &out)
+{
+    switch (v.kind()) {
+      case Value::Kind::Null:
+        out += "null";
+        return;
+      case Value::Kind::Bool:
+        out += v.asBool() ? "true" : "false";
+        return;
+      case Value::Kind::Number:
+        out += formatNumber(v.asNumber());
+        return;
+      case Value::Kind::String:
+        out += '"';
+        out += escape(v.asString());
+        out += '"';
+        return;
+      case Value::Kind::Array: {
+        out += '[';
+        bool first = true;
+        for (const Value &e : v.asArray()) {
+            if (!first)
+                out += ',';
+            first = false;
+            serializeInto(e, out);
+        }
+        out += ']';
+        return;
+      }
+      case Value::Kind::Object: {
+        out += '{';
+        bool first = true;
+        for (const auto &[key, e] : v.asObject()) {
+            if (!first)
+                out += ',';
+            first = false;
+            out += '"';
+            out += escape(key);
+            out += "\":";
+            serializeInto(e, out);
+        }
+        out += '}';
+        return;
+      }
+    }
+}
+
+} // namespace
+
+const Value &
+Value::at(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullValue;
+    auto it = object_->find(key);
+    return it == object_->end() ? nullValue : it->second;
+}
+
+bool
+Value::has(const std::string &key) const
+{
+    return kind_ == Kind::Object && object_->count(key) != 0;
+}
+
+std::string
+Value::serialize() const
+{
+    std::string out;
+    serializeInto(*this, out);
+    return out;
+}
+
+Value
+parse(const std::string &text)
+{
+    Parser parser{text};
+    Value v = parser.parseValue();
+    parser.skipSpace();
+    if (parser.pos != text.size())
+        fail(text, parser.pos, "trailing garbage after document");
+    return v;
+}
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+formatNumber(double d)
+{
+    if (!std::isfinite(d))
+        return "0"; // JSON has no inf/nan; clamp rather than corrupt
+    // Integers (the common case: counters) print exactly; everything
+    // else uses the shortest form that round-trips a double.
+    if (d == std::floor(d) && std::fabs(d) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", d);
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    // Trim to the shortest representation that still round-trips.
+    for (int precision = 1; precision < 17; ++precision) {
+        char shorter[40];
+        std::snprintf(shorter, sizeof(shorter), "%.*g", precision, d);
+        if (std::strtod(shorter, nullptr) == d)
+            return shorter;
+    }
+    return buf;
+}
+
+} // namespace menda::obs::json

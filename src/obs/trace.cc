@@ -1,0 +1,140 @@
+#include "obs/trace.hh"
+
+#include "common/log.hh"
+#include "obs/json.hh"
+
+namespace menda::obs
+{
+
+TraceShard::TraceShard(std::size_t capacity)
+{
+    events_.reserve(capacity);
+    // Name id 0 is reserved so counter events can leave the field unset.
+    names_.push_back("");
+}
+
+std::uint32_t
+TraceShard::addTrack(const std::string &name, TrackKind kind,
+                     std::uint64_t freq_mhz)
+{
+    menda_assert(freq_mhz > 0, "trace track '", name,
+                 "' needs a non-zero clock frequency");
+    tracks_.push_back(Track{name, kind, freq_mhz});
+    return static_cast<std::uint32_t>(tracks_.size() - 1);
+}
+
+std::uint32_t
+TraceShard::internName(const std::string &name)
+{
+    for (std::size_t i = 0; i < names_.size(); ++i)
+        if (names_[i] == name)
+            return static_cast<std::uint32_t>(i);
+    names_.push_back(name);
+    return static_cast<std::uint32_t>(names_.size() - 1);
+}
+
+void
+Tracer::ensureShards(std::size_t n)
+{
+    while (shards_.size() < n)
+        shards_.push_back(std::make_unique<TraceShard>(shardCapacity_));
+}
+
+std::uint64_t
+Tracer::eventCount() const
+{
+    std::uint64_t total = 0;
+    for (const auto &shard : shards_)
+        total += shard->eventCount();
+    return total;
+}
+
+std::uint64_t
+Tracer::droppedEvents() const
+{
+    std::uint64_t total = 0;
+    for (const auto &shard : shards_)
+        total += shard->droppedEvents();
+    return total;
+}
+
+namespace
+{
+
+/** Cycles → microseconds at the track's clock frequency. */
+std::string
+usString(Cycle cycles, std::uint64_t freq_mhz)
+{
+    return json::formatNumber(static_cast<double>(cycles) /
+                              static_cast<double>(freq_mhz));
+}
+
+} // namespace
+
+void
+Tracer::writeChromeTrace(std::ostream &os) const
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    const auto emit = [&](const std::string &event) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << event;
+    };
+
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        const TraceShard &shard = *shards_[s];
+        const std::string pid = std::to_string(s + 1);
+
+        std::string process = "shard" + std::to_string(s);
+        if (shard.dropped_ > 0)
+            process += " (dropped " + std::to_string(shard.dropped_) +
+                       " events)";
+        emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" + pid +
+             ",\"tid\":0,\"args\":{\"name\":\"" + json::escape(process) +
+             "\"}}");
+        emit("{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":" +
+             pid + ",\"tid\":0,\"args\":{\"sort_index\":" +
+             std::to_string(s) + "}}");
+
+        for (std::size_t t = 0; t < shard.tracks_.size(); ++t) {
+            const std::string tid = std::to_string(t + 1);
+            emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" + pid +
+                 ",\"tid\":" + tid + ",\"args\":{\"name\":\"" +
+                 json::escape(shard.tracks_[t].name) + "\"}}");
+            emit("{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":" +
+                 pid + ",\"tid\":" + tid +
+                 ",\"args\":{\"sort_index\":" + std::to_string(t) + "}}");
+        }
+
+        for (const TraceShard::Event &e : shard.events_) {
+            const TraceShard::Track &track = shard.tracks_[e.track];
+            const std::string tid = std::to_string(e.track + 1);
+            const std::string ts = usString(e.a, track.freqMhz);
+            switch (track.kind) {
+              case TrackKind::Span:
+                emit("{\"name\":\"" + json::escape(shard.names_[e.name]) +
+                     "\",\"ph\":\"X\",\"pid\":" + pid + ",\"tid\":" + tid +
+                     ",\"ts\":" + ts + ",\"dur\":" +
+                     usString(e.b - e.a, track.freqMhz) + "}");
+                break;
+              case TrackKind::Instant:
+                emit("{\"name\":\"" + json::escape(shard.names_[e.name]) +
+                     "\",\"ph\":\"i\",\"pid\":" + pid + ",\"tid\":" + tid +
+                     ",\"ts\":" + ts + ",\"s\":\"t\"}");
+                break;
+              case TrackKind::Counter:
+                emit("{\"name\":\"" + json::escape(track.name) +
+                     "\",\"ph\":\"C\",\"pid\":" + pid + ",\"tid\":" + tid +
+                     ",\"ts\":" + ts + ",\"args\":{\"value\":" +
+                     std::to_string(e.b) + "}}");
+                break;
+            }
+        }
+    }
+
+    os << "],\"displayTimeUnit\":\"ns\"}\n";
+}
+
+} // namespace menda::obs

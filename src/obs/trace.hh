@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Cycle-level event tracing for the simulator.
+ *
+ * A Tracer owns one TraceShard per simulation shard — the same
+ * (PU, controller) granularity as the host thread pool — and each shard
+ * is a fixed-capacity, allocation-free ring of POD events written by
+ * exactly one thread. The threading contract mirrors Counter
+ * (common/stats.hh): a shard is only read after its owning host thread
+ * has been joined; the join is the publication point. Components emit
+ * behind a single `if (trace_)` pointer check, so a null tracer costs
+ * one predictable branch per emission site.
+ *
+ * Tracks are registered per shard during component attach (before or
+ * during the shard's own simulation, always from the owning thread) and
+ * carry their clock-domain frequency: timestamps are recorded in
+ * domain cycles and converted to microseconds only at serialization.
+ *
+ * Serialization produces Chrome trace-event JSON ("traceEvents" array)
+ * loadable in Perfetto or chrome://tracing: one process per shard, one
+ * thread per track, "X" complete events for spans, "i" instants, and
+ * "C" counter samples. Output is byte-deterministic: shard order, track
+ * order, and per-shard event order are all fixed by the deterministic
+ * simulation, independent of host thread count.
+ */
+
+#ifndef MENDA_OBS_TRACE_HH
+#define MENDA_OBS_TRACE_HH
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace menda::obs
+{
+
+/** What the events of a track mean (fixed per track). */
+enum class TrackKind : std::uint8_t
+{
+    Span,    ///< [begin, end) durations ("X" complete events)
+    Instant, ///< point events ("i")
+    Counter, ///< sampled numeric value ("C")
+};
+
+class TraceShard
+{
+  public:
+    /** @param capacity ring capacity in events (fully preallocated). */
+    explicit TraceShard(std::size_t capacity);
+
+    // --- setup (owning thread only) ---
+    /** Register a track; returns its id. @p freq_mhz scales timestamps. */
+    std::uint32_t addTrack(const std::string &name, TrackKind kind,
+                           std::uint64_t freq_mhz);
+
+    /**
+     * Intern an event name; returns its id. Allocation is amortized and
+     * rare (names are per-phase, not per-event), so interning mid-run
+     * from the owning thread is fine.
+     */
+    std::uint32_t internName(const std::string &name);
+
+    // --- hot path (owning thread only, allocation-free) ---
+    void
+    span(std::uint32_t track, std::uint32_t name, Cycle begin, Cycle end)
+    {
+        push(track, name, begin, end);
+    }
+
+    void
+    instant(std::uint32_t track, std::uint32_t name, Cycle at)
+    {
+        push(track, name, at, at);
+    }
+
+    void
+    counter(std::uint32_t track, Cycle at, std::uint64_t value)
+    {
+        push(track, 0, at, value);
+    }
+
+    // --- post-join inspection ---
+    std::size_t eventCount() const { return events_.size(); }
+    std::uint64_t droppedEvents() const { return dropped_; }
+    std::size_t trackCount() const { return tracks_.size(); }
+
+  private:
+    friend class Tracer;
+
+    struct Event
+    {
+        Cycle a;             ///< span begin / instant cycle / sample cycle
+        std::uint64_t b;     ///< span end / unused / counter value
+        std::uint32_t track;
+        std::uint32_t name;  ///< interned name id (unused for counters)
+    };
+
+    struct Track
+    {
+        std::string name;
+        TrackKind kind;
+        std::uint64_t freqMhz;
+    };
+
+    void
+    push(std::uint32_t track, std::uint32_t name, Cycle a,
+         std::uint64_t b)
+    {
+        if (events_.size() == events_.capacity()) {
+            ++dropped_;
+            return; // ring full: keep the earliest events, count the rest
+        }
+        events_.push_back(Event{a, b, track, name});
+    }
+
+    std::vector<Event> events_;
+    std::vector<Track> tracks_;
+    std::vector<std::string> names_;
+    std::uint64_t dropped_ = 0;
+};
+
+class Tracer
+{
+  public:
+    /** @param shard_capacity per-shard event ring capacity. */
+    explicit Tracer(std::size_t shard_capacity = 1 << 16)
+        : shardCapacity_(shard_capacity)
+    {}
+
+    /**
+     * Create shards up to @p n (single-threaded, before the simulation
+     * forks). Existing shards are kept, so a Tracer can only be used
+     * for one run; create a fresh Tracer per traced run.
+     */
+    void ensureShards(std::size_t n);
+
+    std::size_t shardCount() const { return shards_.size(); }
+    TraceShard *shard(std::size_t i) { return shards_[i].get(); }
+    const TraceShard *shard(std::size_t i) const
+    {
+        return shards_[i].get();
+    }
+
+    /** Total events recorded across all shards (post-join). */
+    std::uint64_t eventCount() const;
+
+    /** Total events dropped to full rings across all shards. */
+    std::uint64_t droppedEvents() const;
+
+    /**
+     * Serialize all shards as Chrome trace-event JSON (post-join).
+     * Byte-deterministic for deterministic simulations.
+     */
+    void writeChromeTrace(std::ostream &os) const;
+
+  private:
+    std::size_t shardCapacity_;
+    std::vector<std::unique_ptr<TraceShard>> shards_;
+};
+
+} // namespace menda::obs
+
+#endif // MENDA_OBS_TRACE_HH

@@ -19,6 +19,14 @@ TickScheduler::addDomain(const std::string &name, std::uint64_t freq_mhz)
     return domains_.back().get();
 }
 
+void
+TickScheduler::setTrace(obs::TraceShard *shard)
+{
+    if (finalized_)
+        menda_panic("cannot attach a trace shard after run start");
+    trace_ = shard;
+}
+
 double
 TickScheduler::seconds() const
 {
@@ -40,6 +48,12 @@ TickScheduler::finalize()
     for (auto &domain : domains_) {
         domain->period_ = baseMhz_ / domain->freqMhz();
         domain->nextFire_ = curTick_;
+        if (trace_) {
+            domain->traceTrack_ =
+                trace_->addTrack("idleSkip." + domain->name(),
+                                 obs::TrackKind::Span, domain->freqMhz());
+            domain->traceName_ = trace_->internName("skip");
+        }
     }
     finalized_ = true;
 }
@@ -94,6 +108,9 @@ TickScheduler::step()
         if (lag > 0) {
             for (Ticked *component : domain->components_)
                 component->skipCycles(lag);
+            if (trace_)
+                trace_->span(domain->traceTrack_, domain->traceName_,
+                             domain->cycle_, domain->cycle_ + lag);
             domain->cycle_ += lag;
             domain->nextFire_ += lag * domain->period_;
             cyclesSkipped_ += lag;

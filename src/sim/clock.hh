@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "obs/trace.hh"
 
 namespace menda
 {
@@ -109,6 +110,8 @@ class ClockDomain
     Tick nextFire_ = 0;
     Cycle cycle_ = 0;
     std::vector<Ticked *> components_;
+    std::uint32_t traceTrack_ = 0; ///< idle-skip span track (if traced)
+    std::uint32_t traceName_ = 0;  ///< interned "skip"
 };
 
 /**
@@ -126,6 +129,13 @@ class TickScheduler
   public:
     /** Create a domain with @p freq_mhz MHz. Must precede the first run. */
     ClockDomain *addDomain(const std::string &name, std::uint64_t freq_mhz);
+
+    /**
+     * Record every idle-skip window as a span on an "idleSkip.<domain>"
+     * track of @p shard (one track per domain, registered at the first
+     * run). Must precede the first run; pass nullptr to disable.
+     */
+    void setTrace(obs::TraceShard *shard);
 
     /** Current simulated time in base ticks. */
     Tick curTick() const { return curTick_; }
@@ -168,6 +178,7 @@ class TickScheduler
     Tick curTick_ = 0;
     std::uint64_t baseMhz_ = 0;
     Cycle cyclesSkipped_ = 0;
+    obs::TraceShard *trace_ = nullptr;
     std::vector<std::unique_ptr<ClockDomain>> domains_;
 };
 

@@ -10,8 +10,12 @@
 #include <array>
 #include <cstdio>
 #include <fstream>
+#include <set>
+#include <sstream>
 #include <string>
 
+#include "obs/json.hh"
+#include "obs/report.hh"
 #include "sparse/generate.hh"
 #include "sparse/mmio.hh"
 
@@ -25,12 +29,10 @@ struct CommandResult
 };
 
 CommandResult
-runTool(const std::string &args)
+runCommand(const std::string &cmd)
 {
-    const std::string cmd =
-        std::string(MENDA_SIM_BIN) + " " + args + " 2>&1";
     CommandResult result;
-    FILE *pipe = popen(cmd.c_str(), "r");
+    FILE *pipe = popen((cmd + " 2>&1").c_str(), "r");
     if (!pipe)
         return result;
     std::array<char, 512> buffer;
@@ -39,6 +41,27 @@ runTool(const std::string &args)
     const int status = pclose(pipe);
     result.exitCode = WEXITSTATUS(status);
     return result;
+}
+
+CommandResult
+runTool(const std::string &args)
+{
+    return runCommand(std::string(MENDA_SIM_BIN) + " " + args);
+}
+
+CommandResult
+runDiff(const std::string &args)
+{
+    return runCommand(std::string(MENDA_REPORT_DIFF_BIN) + " " + args);
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    return buffer.str();
 }
 
 } // namespace
@@ -143,4 +166,118 @@ TEST(Cli, BadSweepParameterFailsCleanly)
     EXPECT_EQ(r.exitCode, 1);
     EXPECT_NE(r.output.find("unknown sweep parameter"),
               std::string::npos);
+}
+
+TEST(Cli, TraceFlagEmitsStructurallyValidChromeTrace)
+{
+    const std::string path = "cli_test.trace.json";
+    CommandResult r = runTool("spgemm --rmat=64 --nnz=500 --dimms=1 "
+                              "--leaves=16 --sample-period=100 --trace=" +
+                              path);
+    ASSERT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("[menda] trace:"), std::string::npos);
+
+    menda::obs::json::Value doc;
+    ASSERT_NO_THROW(doc = menda::obs::json::parse(slurp(path)))
+        << "trace file is not valid JSON";
+    std::remove(path.c_str());
+    ASSERT_TRUE(doc.at("traceEvents").isArray());
+
+    // The trace must carry all the advertised track families: per-bank
+    // DRAM command instants, PU phase spans, fetch-round instants,
+    // idle-skip spans, and counter tracks.
+    std::set<std::string> tracks;
+    std::set<std::string> phases;
+    for (const auto &e : doc.at("traceEvents").asArray()) {
+        if (e.at("name").asString() == "thread_name")
+            tracks.insert(e.at("args").at("name").asString());
+        if (e.at("ph").isString())
+            phases.insert(e.at("ph").asString());
+    }
+    auto has_track = [&](const std::string &needle) {
+        for (const std::string &t : tracks)
+            if (t.find(needle) != std::string::npos)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(has_track(".bank")) << "per-bank DRAM command track";
+    EXPECT_TRUE(has_track(".phases")) << "PU phase span track";
+    EXPECT_TRUE(has_track(".rounds")) << "fetch-round instant track";
+    EXPECT_TRUE(has_track("idleSkip.")) << "idle-skip span track";
+    EXPECT_TRUE(has_track(".treeOccupancy")) << "occupancy counter";
+    EXPECT_TRUE(has_track(".readQueueDepth")) << "queue-depth counter";
+    // Span, instant, counter, and metadata events all present.
+    EXPECT_TRUE(phases.count("X"));
+    EXPECT_TRUE(phases.count("i"));
+    EXPECT_TRUE(phases.count("C"));
+    EXPECT_TRUE(phases.count("M"));
+}
+
+TEST(Cli, ReportFlagEmitsRunReportSchema)
+{
+    const std::string path = "cli_test.report.json";
+    CommandResult r = runTool(
+        "transpose --workload=N4 --scale=64 --leaves=16 "
+        "--sample-period=200 --report=" + path);
+    ASSERT_EQ(r.exitCode, 0) << r.output;
+    menda::obs::RunReport report;
+    ASSERT_NO_THROW(report = menda::obs::RunReport::read(path));
+    std::remove(path.c_str());
+    EXPECT_EQ(report.name(), "menda_sim.transpose");
+    EXPECT_EQ(report.meta().at("kernel"), "transpose");
+    EXPECT_GT(report.metric("puCycles"), 0.0);
+    EXPECT_GT(report.metric("totalBlocks"), 0.0);
+    EXPECT_TRUE(report.hasMetric("wallSeconds"));
+    EXPECT_EQ(report.histograms().count("readLatency"), 1u);
+    EXPECT_EQ(report.series().count("treeOccupancy"), 1u);
+}
+
+TEST(Cli, ProgressHeartbeatPrints)
+{
+    // One heartbeat per million cycles: the single-PU N4 run simulates
+    // >2M PU cycles, so at least one line must appear.
+    CommandResult r = runTool(
+        "transpose --workload=N4 --scale=2 --dimms=1 --ranks=1 "
+        "--leaves=16 --progress=1");
+    ASSERT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("Mcycles"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("outstanding"), std::string::npos);
+}
+
+TEST(ReportDiffTool, PassesOnIdenticalFailsOnRegression)
+{
+    const std::string base = "cli_diff_base.json";
+    const std::string regressed = "cli_diff_regressed.json";
+    menda::obs::RunReport report("gate");
+    report.setMetric("puCycles", 1000.0);
+    report.setMetric("readBlocks", 500.0);
+    report.write(base);
+
+    CommandResult same = runDiff(base + " " + base);
+    EXPECT_EQ(same.exitCode, 0) << same.output;
+    EXPECT_NE(same.output.find("PASS"), std::string::npos);
+
+    // A 20% cycle regression must trip the default 10% gate...
+    report.setMetric("puCycles", 1200.0);
+    report.write(regressed);
+    CommandResult bad = runDiff(base + " " + regressed);
+    EXPECT_EQ(bad.exitCode, 1) << bad.output;
+    EXPECT_NE(bad.output.find("REGRESSION"), std::string::npos);
+    EXPECT_NE(bad.output.find("FAIL"), std::string::npos);
+
+    // ...and pass a loosened one.
+    CommandResult loose =
+        runDiff(base + " " + regressed + " --tolerance=0.25");
+    EXPECT_EQ(loose.exitCode, 0) << loose.output;
+
+    std::remove(base.c_str());
+    std::remove(regressed.c_str());
+}
+
+TEST(ReportDiffTool, BadUsageExitsTwo)
+{
+    EXPECT_EQ(runDiff("").exitCode, 2);
+    EXPECT_EQ(runDiff("one_file_only.json").exitCode, 2);
+    EXPECT_EQ(runDiff("/nonexistent/a.json /nonexistent/b.json").exitCode,
+              2);
 }

@@ -11,10 +11,13 @@
 
 #include <atomic>
 #include <cstddef>
+#include <sstream>
 #include <stdexcept>
 #include <vector>
 
+#include "menda/run_report.hh"
 #include "menda/system.hh"
+#include "obs/trace.hh"
 #include "sim/parallel.hh"
 #include "sparse/generate.hh"
 
@@ -176,6 +179,68 @@ TEST(ParallelSim, RepeatedParallelRunsAreDeterministic)
     TransposeResult r2 = second.transpose(a);
     expectIdenticalRun(r1, r2);
     EXPECT_EQ(r1.csc, r2.csc);
+}
+
+TEST(ParallelSim, TraceBytesIdenticalAcrossThreadCounts)
+{
+    // Observed runs force the sharded path even at hostThreads == 1, so
+    // the serialized trace must be byte-for-byte identical no matter how
+    // many host threads simulate the shards.
+    sparse::CsrMatrix a = sparse::generateRmat(512, 6000, 0.1, 0.2, 0.3,
+                                               81);
+    auto traceOf = [&](unsigned threads) {
+        MendaSystem sys(smallSystem(4, 16, threads));
+        obs::Tracer tracer(std::size_t{1} << 18);
+        sys.setTracer(&tracer);
+        sys.transpose(a);
+        EXPECT_EQ(tracer.droppedEvents(), 0u);
+        EXPECT_GT(tracer.eventCount(), 0u);
+        std::ostringstream os;
+        tracer.writeChromeTrace(os);
+        return os.str();
+    };
+    const std::string one = traceOf(1);
+    EXPECT_EQ(one, traceOf(2));
+    EXPECT_EQ(one, traceOf(4));
+}
+
+TEST(ParallelSim, ReportBytesIdenticalAcrossThreadCounts)
+{
+    // Same guarantee for the run report, including the sampled series
+    // and merged histograms (wall metrics excluded: built with
+    // wall_seconds = 0 here).
+    sparse::CsrMatrix a = sparse::generateUniform(1024, 1024, 15000, 83);
+    auto reportOf = [&](unsigned threads) {
+        SystemConfig config = smallSystem(4, 32, threads);
+        config.samplePeriod = 256;
+        MendaSystem sys(config);
+        TransposeResult result = sys.transpose(a);
+        EXPECT_FALSE(result.treeOccupancy.values().empty());
+        EXPECT_FALSE(result.readQueueDepth.values().empty());
+        return core::makeRunReport("identity", "transpose", config,
+                                   result, a.nnz())
+            .toJson();
+    };
+    const std::string one = reportOf(1);
+    EXPECT_EQ(one, reportOf(3));
+}
+
+TEST(ParallelSim, ObservedSequentialMatchesUnobservedCounters)
+{
+    // Forcing the sharded path for observed runs must not change any
+    // simulated outcome relative to a plain run.
+    sparse::CsrMatrix a = sparse::generateRmat(512, 6000, 0.1, 0.2, 0.3,
+                                               85);
+    MendaSystem plain(smallSystem(4, 16, 1));
+    TransposeResult r_plain = plain.transpose(a);
+
+    MendaSystem observed(smallSystem(4, 16, 1));
+    obs::Tracer tracer(std::size_t{1} << 18);
+    observed.setTracer(&tracer);
+    TransposeResult r_obs = observed.transpose(a);
+
+    expectIdenticalRun(r_plain, r_obs);
+    EXPECT_EQ(r_plain.csc, r_obs.csc);
 }
 
 TEST(ParallelSim, AutoThreadCountWorks)

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * `menda_report_diff` — the CI perf-regression gate.
+ *
+ *   menda_report_diff <baseline.json> <current.json> [--tolerance=0.10]
+ *
+ * Compares two menda.runReport/1 files metric by metric and prints a
+ * table of relative deltas. Exit status:
+ *
+ *   0  every checked metric is within tolerance
+ *   1  a metric drifted past tolerance or disappeared
+ *   2  usage / file / parse error
+ *
+ * Metrics whose names mark them host-dependent (wall time,
+ * sim-cycles/sec, host thread counts, trace overhead) are printed but
+ * never gate — see obs::DiffOptions::ignoreSubstrings.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/config.hh"
+#include "obs/report.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace menda;
+
+    Options opts;
+    opts.parse(argc, argv);
+    std::string baseline_path, current_path;
+    for (const auto &[pos, arg] : opts.positional()) {
+        if (pos == 1)
+            baseline_path = arg;
+        else if (pos == 2)
+            current_path = arg;
+    }
+    if (baseline_path.empty() || current_path.empty()) {
+        std::fprintf(stderr,
+                     "usage: menda_report_diff <baseline.json> "
+                     "<current.json> [--tolerance=0.10]\n");
+        return 2;
+    }
+
+    obs::DiffOptions options;
+    options.tolerance = opts.getDouble("tolerance", options.tolerance);
+
+    obs::RunReport baseline, current;
+    try {
+        baseline = obs::RunReport::read(baseline_path);
+        current = obs::RunReport::read(current_path);
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 2;
+    }
+
+    const obs::DiffResult result =
+        obs::diffReports(baseline, current, options);
+    std::printf("%-34s %14s %14s %9s\n", "metric", "baseline", "current",
+                "delta");
+    for (const auto &entry : result.entries)
+        std::printf("%-34s %14.6g %14.6g %+8.2f%%%s\n",
+                    entry.name.c_str(), entry.baseline, entry.current,
+                    entry.relDelta * 100.0,
+                    entry.ignored           ? "  (ignored)"
+                    : entry.withinTolerance ? ""
+                                            : "  REGRESSION");
+    for (const std::string &name : result.missing)
+        std::printf("%-34s missing from current report  REGRESSION\n",
+                    name.c_str());
+    for (const std::string &name : result.added)
+        std::printf("%-34s new metric (not gated)\n", name.c_str());
+
+    if (!result.passed) {
+        std::printf("FAIL: drift beyond +/-%.0f%% tolerance\n",
+                    options.tolerance * 100.0);
+        return 1;
+    }
+    std::printf("PASS: all gated metrics within +/-%.0f%%\n",
+                options.tolerance * 100.0);
+    return 0;
+}

@@ -16,21 +16,40 @@
  *               --no-prefetch --no-coalescing --no-seamless
  *               --row-partitioning --json
  *
+ * Observability flags (transpose/spmv/spgemm):
+ *   --trace=FILE         write a Chrome trace-event JSON of the run
+ *                        (open in Perfetto or chrome://tracing)
+ *   --report=FILE        write a menda.runReport/1 JSON run report
+ *                        (compare two with menda_report_diff)
+ *   --sample-period=N    sample tree occupancy / queue depths every N
+ *                        component cycles (series land in the report)
+ *   --progress=N         stderr heartbeat every N million PU cycles
+ *
+ * Traced or sampled runs always use the sharded simulation path, so
+ * trace bytes and every deterministic report metric are identical for
+ * every --threads value (only the wall-clock metrics differ).
+ *
  * Examples:
  *   menda_sim inspect --workload=wiki-Talk --scale=16
  *   menda_sim transpose my_matrix.mtx --channels=2 --leaves=512 --json
+ *   menda_sim spgemm --rmat=4096 --trace=run.trace.json --report=run.json
  *   menda_sim sweep --workload=N5 --param=channels
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "baselines/spgemm_cpu.hh"
 #include "common/config.hh"
 #include "common/log.hh"
+#include "menda/run_report.hh"
 #include "menda/system.hh"
+#include "obs/trace.hh"
 #include "sparse/generate.hh"
 #include "power/power_model.hh"
 #include "sparse/mmio.hh"
@@ -74,8 +93,65 @@ systemFromFlags(const Options &opts)
     config.rowPartitioning = opts.has("row-partitioning");
     config.hostThreads =
         static_cast<unsigned>(opts.getInt("threads", 1));
+    config.samplePeriod =
+        static_cast<std::uint64_t>(opts.getInt("sample-period", 0));
+    config.progressEveryCycles =
+        static_cast<std::uint64_t>(opts.getInt("progress", 0)) *
+        1'000'000;
     return config;
 }
+
+/**
+ * Arms tracing before a kernel run and writes the --trace/--report
+ * outputs afterwards. Construct after the MendaSystem, call finish()
+ * once with the run's result.
+ */
+class ObservedRun
+{
+  public:
+    ObservedRun(core::MendaSystem &sys, const Options &opts) : opts_(opts)
+    {
+        if (opts_.has("trace")) {
+            tracer_ = std::make_unique<obs::Tracer>(std::size_t{1} << 20);
+            sys.setTracer(tracer_.get());
+        }
+        start_ = std::chrono::steady_clock::now();
+    }
+
+    void
+    finish(const char *kernel, const core::RunResult &result,
+           const sparse::CsrMatrix &a, const core::SystemConfig &config)
+    {
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        if (tracer_) {
+            const std::string path = opts_.get("trace", "");
+            std::ofstream out(path, std::ios::binary);
+            if (!out)
+                menda_fatal("cannot open trace file '", path, "'");
+            tracer_->writeChromeTrace(out);
+            std::fprintf(stderr,
+                         "[menda] trace: %llu events (%llu dropped) "
+                         "-> %s\n",
+                         (unsigned long long)tracer_->eventCount(),
+                         (unsigned long long)tracer_->droppedEvents(),
+                         path.c_str());
+        }
+        if (opts_.has("report")) {
+            obs::RunReport report = core::makeRunReport(
+                std::string("menda_sim.") + kernel, kernel, config,
+                result, a.nnz(), wall);
+            report.write(opts_.get("report", ""));
+        }
+    }
+
+  private:
+    const Options &opts_;
+    std::unique_ptr<obs::Tracer> tracer_;
+    std::chrono::steady_clock::time_point start_;
+};
 
 void
 printRunResult(const char *kernel, const core::RunResult &result,
@@ -163,7 +239,9 @@ cmdTranspose(const Options &opts)
     sparse::CsrMatrix a = loadMatrix(opts);
     core::SystemConfig config = systemFromFlags(opts);
     core::MendaSystem sys(config);
+    ObservedRun observed(sys, opts);
     core::TransposeResult result = sys.transpose(a);
+    observed.finish("transpose", result, a, config);
     if (opts.has("verify")) {
         if (!(result.csc == sparse::transposeReference(a)))
             menda_fatal("verification FAILED");
@@ -180,7 +258,9 @@ cmdSpmv(const Options &opts)
     core::SystemConfig config = systemFromFlags(opts);
     std::vector<Value> x(a.cols, 1.0f);
     core::MendaSystem sys(config);
+    ObservedRun observed(sys, opts);
     core::SpmvResult result = sys.spmv(a, x);
+    observed.finish("spmv", result, a, config);
     printRunResult("spmv", result, a, config, opts.has("json"));
     return 0;
 }
@@ -208,7 +288,9 @@ cmdSpgemm(const Options &opts)
                     "(got ", a.rows, " x ", a.cols, ")");
     core::SystemConfig config = systemFromFlags(opts);
     core::MendaSystem sys(config);
+    ObservedRun observed(sys, opts);
     core::SpgemmResult result = sys.spgemm(a, a);
+    observed.finish("spgemm", result, a, config);
     if (opts.has("verify")) {
         if (!(result.c == baselines::spgemmHeapMerge(a, a)))
             menda_fatal("verification FAILED");
