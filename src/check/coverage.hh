@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Config-space + event coverage for the conformance harness.
+ *
+ * Every executed case is mapped to a set of feature strings drawn from
+ * two sources: the configuration point it exercised (kernel, matrix
+ * family, PU shape, engine knobs) and the simulation events its baseline
+ * report shows actually fired (row conflicts, coalesced hits, refreshes,
+ * stalls, multi-round merges, occupancy buckets). The harness counts
+ * hits per feature; the generator biases its draws toward feature values
+ * with the fewest hits, steering the random walk into unexplored regions
+ * instead of re-sampling the easy center of the space.
+ */
+
+#ifndef MENDA_CHECK_COVERAGE_HH
+#define MENDA_CHECK_COVERAGE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "check/case_spec.hh"
+#include "obs/report.hh"
+
+namespace menda::check
+{
+
+/**
+ * The feature strings of one executed case: "dimension=value" pairs for
+ * config-space dimensions ("kernel=spgemm", "matrix=emptyRows",
+ * "leaves=16"), crossed kernel x matrix pairs, and "event.*" flags plus
+ * log-2 buckets derived from the run report.
+ */
+std::vector<std::string> caseFeatures(const CaseSpec &spec,
+                                      const obs::RunReport &report);
+
+class Coverage
+{
+  public:
+    /** Account one executed case; returns how many features were new. */
+    unsigned note(const CaseSpec &spec, const obs::RunReport &report);
+
+    /** Distinct features observed so far. */
+    std::size_t featureCount() const { return hits_.size(); }
+
+    /** Hit count of @p feature (0 when never seen). */
+    std::uint64_t hits(const std::string &feature) const;
+
+    /**
+     * Selection weight for a candidate value of one dimension: high for
+     * never-seen values, decaying with hit count. The generator samples
+     * dimension values proportionally to this.
+     */
+    double weight(const std::string &feature) const
+    {
+        return 1.0 / (1.0 + static_cast<double>(hits(feature)));
+    }
+
+    /** One-line progress summary for the harness log. */
+    std::string summary() const;
+
+    const std::map<std::string, std::uint64_t> &all() const
+    {
+        return hits_;
+    }
+
+  private:
+    std::map<std::string, std::uint64_t> hits_;
+};
+
+} // namespace menda::check
+
+#endif // MENDA_CHECK_COVERAGE_HH

@@ -1,0 +1,214 @@
+#include "check/engine.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "baselines/spgemm_cpu.hh"
+#include "menda/run_report.hh"
+#include "obs/trace.hh"
+
+namespace menda::check
+{
+
+std::vector<EngineVariant>
+variantsFor(const CaseSpec &spec)
+{
+    std::vector<EngineVariant> variants;
+    variants.push_back({"seq", 1, false, false, 0});
+    variants.push_back({"threads" + std::to_string(spec.threads),
+                        spec.threads, false, false, 0});
+    if (spec.withReferenceScheduler)
+        variants.push_back({"refsched", 1, true, false, 0});
+    if (spec.withTrace)
+        variants.push_back({"traced", 1, false, true, 0});
+    if (spec.samplePeriod != 0)
+        variants.push_back({"sampled", 1, false, false,
+                            spec.samplePeriod});
+    return variants;
+}
+
+CaseOutcome
+runVariant(const CaseSpec &spec, const EngineVariant &variant)
+{
+    core::SystemConfig config = spec.systemConfig();
+    config.hostThreads = variant.hostThreads;
+    config.dram.referenceScheduler = variant.referenceScheduler;
+    config.samplePeriod = variant.samplePeriod;
+    core::MendaSystem sys(config);
+
+    // The traced variant keeps the trace in memory: what matters here is
+    // that arming the tracer flips the system onto the sharded
+    // simulation path, which must not change any result.
+    obs::Tracer tracer(std::size_t{1} << 16);
+    if (variant.traced)
+        sys.setTracer(&tracer);
+
+    CaseOutcome outcome;
+    const sparse::CsrMatrix a = buildMatrix(spec.a);
+    core::RunResult run;
+    std::uint64_t nnz = a.nnz();
+    switch (spec.kernel) {
+      case Kernel::Transpose: {
+        core::TransposeResult result = sys.transpose(a);
+        outcome.csc = std::move(result.csc);
+        run = std::move(result);
+        break;
+      }
+      case Kernel::Spmv: {
+        core::SpmvResult result = sys.spmv(a, spec.spmvInput(a.cols));
+        outcome.y = std::move(result.y);
+        run = std::move(result);
+        break;
+      }
+      case Kernel::Spgemm: {
+        const sparse::CsrMatrix b = buildMatrix(spec.b);
+        core::SpgemmResult result = sys.spgemm(a, b);
+        outcome.c = std::move(result.c);
+        run = std::move(result);
+        break;
+      }
+    }
+
+    // wall_seconds = 0 keeps host-dependent metrics out entirely, so the
+    // report is a pure function of the simulation.
+    outcome.report = core::makeRunReport(
+        std::string("menda_check.") + kernelName(spec.kernel),
+        kernelName(spec.kernel), config, run, nnz, 0.0);
+    outcome.reportJson = outcome.report.toJson();
+    return outcome;
+}
+
+Mismatch
+checkGolden(const CaseSpec &spec, const CaseOutcome &outcome)
+{
+    const sparse::CsrMatrix a = buildMatrix(spec.a);
+    switch (spec.kernel) {
+      case Kernel::Transpose: {
+        const sparse::CscMatrix want = sparse::transposeReference(a);
+        if (!(outcome.csc == want))
+            return {true, "transpose output differs from the golden "
+                          "CPU reference"};
+        break;
+      }
+      case Kernel::Spmv: {
+        const std::vector<double> want =
+            sparse::spmvReference(a, spec.spmvInput(a.cols));
+        if (outcome.y.size() != want.size())
+            return {true, "spmv output length differs from reference"};
+        for (std::size_t r = 0; r < want.size(); ++r)
+            if (std::abs(outcome.y[r] - want[r]) >
+                1e-3 * (std::abs(want[r]) + 1.0)) {
+                std::ostringstream os;
+                os << "spmv row " << r << " differs from reference: "
+                   << outcome.y[r] << " vs " << want[r];
+                return {true, os.str()};
+            }
+        break;
+      }
+      case Kernel::Spgemm: {
+        const sparse::CsrMatrix b = buildMatrix(spec.b);
+        // The heap merge is the bitwise oracle (identical FP order);
+        // the hash accumulator cross-checks values in double precision.
+        if (!(outcome.c == baselines::spgemmHeapMerge(a, b)))
+            return {true, "spgemm output differs from the heap-merge "
+                          "oracle"};
+        break;
+      }
+    }
+    return {};
+}
+
+namespace
+{
+
+Mismatch
+mismatch(const EngineVariant &va, const EngineVariant &vb,
+         const std::string &what)
+{
+    return {true, va.name + " vs " + vb.name + ": " + what};
+}
+
+} // namespace
+
+Mismatch
+diffOutcomes(const CaseSpec &spec, const EngineVariant &va,
+             const CaseOutcome &oa, const EngineVariant &vb,
+             const CaseOutcome &ob)
+{
+    switch (spec.kernel) {
+      case Kernel::Transpose:
+        if (!(oa.csc == ob.csc))
+            return mismatch(va, vb, "transpose outputs differ");
+        break;
+      case Kernel::Spmv:
+        // Identical simulation order in every variant means the FP sums
+        // must agree bit-for-bit, not just within tolerance.
+        if (oa.y != ob.y)
+            return mismatch(va, vb, "spmv outputs differ bitwise");
+        break;
+      case Kernel::Spgemm:
+        if (!(oa.c == ob.c))
+            return mismatch(va, vb, "spgemm outputs differ");
+        break;
+    }
+
+    if (!va.metricsOnly() && !vb.metricsOnly()) {
+        if (oa.reportJson != ob.reportJson)
+            return mismatch(va, vb, "deterministic run reports are not "
+                                    "byte-identical");
+        return {};
+    }
+
+    // A sampled report additionally carries series; compare the metric
+    // set with zero tolerance instead.
+    obs::DiffOptions options;
+    options.tolerance = 0.0;
+    const obs::DiffResult diff =
+        diffReports(oa.report, ob.report, options);
+    if (!diff.passed) {
+        std::ostringstream os;
+        os << "metrics diverge:";
+        for (const auto &entry : diff.entries)
+            if (!entry.ignored && !entry.withinTolerance)
+                os << " " << entry.name << " " << entry.baseline
+                   << " -> " << entry.current;
+        for (const auto &name : diff.missing)
+            os << " missing:" << name;
+        return mismatch(va, vb, os.str());
+    }
+    return {};
+}
+
+Mismatch
+runCase(const CaseSpec &spec, unsigned *runs, unsigned *pairs,
+        obs::RunReport *baseline_report)
+{
+    const std::vector<EngineVariant> variants = variantsFor(spec);
+    std::vector<CaseOutcome> outcomes;
+    outcomes.reserve(variants.size());
+    for (const EngineVariant &variant : variants) {
+        outcomes.push_back(runVariant(spec, variant));
+        if (runs)
+            ++*runs;
+    }
+    if (baseline_report)
+        *baseline_report = outcomes.front().report;
+
+    if (Mismatch golden = checkGolden(spec, outcomes.front())) {
+        golden.what = variants.front().name + ": " + golden.what;
+        return golden;
+    }
+    // Baseline-vs-each covers the equivalence classes; all variants are
+    // expected equal, so any divergence shows up against the baseline.
+    for (std::size_t i = 1; i < variants.size(); ++i) {
+        if (pairs)
+            ++*pairs;
+        if (Mismatch diff =
+                diffOutcomes(spec, variants[0], outcomes[0],
+                             variants[i], outcomes[i]))
+            return diff;
+    }
+    return {};
+}
+
+} // namespace menda::check

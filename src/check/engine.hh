@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Run one conformance case under every applicable engine variant and
+ * diff the results.
+ *
+ * The simulator guarantees that several execution strategies produce
+ * bit-identical results: sequential vs. sharded-parallel simulation,
+ * dense vs. idle-skipped ticking, the indexed vs. reference DRAM
+ * scheduler, and traced/sampled vs. plain runs. Each guarantee has its
+ * own hand-written test on a handful of workloads; this module turns
+ * them into one machine-checkable property per generated case:
+ *
+ *   - every variant's *outputs* (CSC / y / CSR) must be bit-identical,
+ *   - the outputs must match the golden CPU references,
+ *   - every deterministic `menda.runReport/1` metric must agree exactly
+ *     (reports are built with wall_seconds = 0, so no host-dependent
+ *     metric exists; the sampled variant additionally carries series and
+ *     is compared metric-wise instead of byte-wise).
+ */
+
+#ifndef MENDA_CHECK_ENGINE_HH
+#define MENDA_CHECK_ENGINE_HH
+
+#include <string>
+#include <vector>
+
+#include "check/case_spec.hh"
+#include "obs/report.hh"
+
+namespace menda::check
+{
+
+/** One way of executing a case through MendaSystem. */
+struct EngineVariant
+{
+    std::string name;        ///< stable id, e.g. "seq" or "threads2"
+    unsigned hostThreads = 1;
+    bool referenceScheduler = false;
+    bool traced = false;            ///< in-memory tracer attached
+    std::uint64_t samplePeriod = 0; ///< interval samplers armed
+
+    /**
+     * Sampling adds time series to the report, so a sampled run is only
+     * comparable metric-by-metric, not byte-by-byte.
+     */
+    bool metricsOnly() const { return samplePeriod != 0; }
+};
+
+/** The variant list a spec's engine knobs select. Index 0 is baseline. */
+std::vector<EngineVariant> variantsFor(const CaseSpec &spec);
+
+/** Everything a variant run produces that must be deterministic. */
+struct CaseOutcome
+{
+    obs::RunReport report;   ///< wall-free, fully deterministic
+    std::string reportJson;  ///< canonical bytes of @ref report
+    sparse::CscMatrix csc;   ///< transpose output
+    std::vector<double> y;   ///< spmv output
+    sparse::CsrMatrix c;     ///< spgemm output
+};
+
+/** Execute @p spec under @p variant. Deterministic. */
+CaseOutcome runVariant(const CaseSpec &spec, const EngineVariant &variant);
+
+/** A detected conformance violation (empty when ok). */
+struct Mismatch
+{
+    bool failed = false;
+    std::string what;
+
+    explicit operator bool() const { return failed; }
+};
+
+/** Compare a variant's outputs against the golden CPU references. */
+Mismatch checkGolden(const CaseSpec &spec, const CaseOutcome &outcome);
+
+/**
+ * Compare two variants of the same case: outputs bitwise, reports
+ * byte-wise (or metric-wise with zero tolerance when either variant is
+ * metricsOnly()).
+ */
+Mismatch diffOutcomes(const CaseSpec &spec, const EngineVariant &va,
+                      const CaseOutcome &oa, const EngineVariant &vb,
+                      const CaseOutcome &ob);
+
+/**
+ * Run @p spec under every variant and diff all pairs plus the golden
+ * references. @p runs/@p pairs (optional) accumulate how many variant
+ * executions and pairwise diffs happened; @p baseline_report (optional)
+ * receives the baseline variant's report for coverage accounting.
+ */
+Mismatch runCase(const CaseSpec &spec, unsigned *runs = nullptr,
+                 unsigned *pairs = nullptr,
+                 obs::RunReport *baseline_report = nullptr);
+
+} // namespace menda::check
+
+#endif // MENDA_CHECK_ENGINE_HH

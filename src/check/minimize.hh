@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Delta-debugging of failing conformance cases.
+ *
+ * Given a spec whose runCase() fails and a predicate that re-runs a
+ * candidate, the minimizer greedily applies shrinking transformations —
+ * cut the matrix dimensions and non-zero counts, simplify the matrix
+ * family to uniform, collapse the PU shape, and drop engine variants —
+ * keeping any candidate that still fails, until no transformation makes
+ * progress. The result is the small `.case.json` a human actually wants
+ * to stare at, typically a few dozen non-zeros.
+ */
+
+#ifndef MENDA_CHECK_MINIMIZE_HH
+#define MENDA_CHECK_MINIMIZE_HH
+
+#include <functional>
+
+#include "check/case_spec.hh"
+
+namespace menda::check
+{
+
+struct MinimizeResult
+{
+    CaseSpec spec;        ///< smallest failing spec found
+    unsigned attempts = 0; ///< candidate re-runs performed
+    unsigned accepted = 0; ///< candidates that still failed
+};
+
+/**
+ * Shrink @p spec to a local minimum under @p still_fails. The predicate
+ * receives normalized candidates; @p spec itself must already fail.
+ * @p max_attempts bounds the total number of predicate evaluations.
+ */
+MinimizeResult
+minimizeCase(const CaseSpec &spec,
+             const std::function<bool(const CaseSpec &)> &still_fails,
+             unsigned max_attempts = 1000);
+
+} // namespace menda::check
+
+#endif // MENDA_CHECK_MINIMIZE_HH

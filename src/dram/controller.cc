@@ -1,11 +1,33 @@
 #include "dram/controller.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/log.hh"
 
 namespace menda::dram
 {
+
+namespace
+{
+
+/**
+ * Fault-injection hook for the conformance harness: when the
+ * MENDA_TEST_FLIP_TIEBREAK environment variable is set (to anything),
+ * the indexed scheduler's FR-pass tie-break picks the *youngest* request
+ * among equally-ready banks instead of the oldest. The reference
+ * scheduler is unaffected, so the divergence surfaces as a cross-variant
+ * metric mismatch. Read once; never set outside the harness's own tests.
+ */
+bool
+flipTieBreak()
+{
+    static const bool flip =
+        std::getenv("MENDA_TEST_FLIP_TIEBREAK") != nullptr;
+    return flip;
+}
+
+} // namespace
 
 MemoryController::MemoryController(std::string name,
                                    const DramConfig &config, bool coalesce)
@@ -358,7 +380,8 @@ MemoryController::pickAndIssueIndexed(mem::RequestQueue &queue,
             while (queue.slotAt(s).coord.row != bank.openRow)
                 s = index.next[s];
             const std::uint64_t id = queue.slotAt(s).id;
-            if (best == mem::RequestQueue::npos || id < best_id) {
+            if (best == mem::RequestQueue::npos ||
+                (flipTieBreak() ? id > best_id : id < best_id)) {
                 best = s;
                 best_fb = fb;
                 best_id = id;

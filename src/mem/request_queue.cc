@@ -15,6 +15,9 @@ RequestQueue::RequestQueue(std::size_t entries, bool coalesce)
         freeList_.push_back(s);
     if (coalesce_)
         readSlotByAddr_.reserve(entries);
+#ifdef MENDA_CHECKS
+    live_.assign(entries, false);
+#endif
 }
 
 RequestQueue::Insert
@@ -26,6 +29,10 @@ RequestQueue::insert(const MemRequest &req, std::uint32_t &slot_out)
         // CAM address match against the occupied read slots.
         auto match = readSlotByAddr_.find(req.addr);
         if (match != readSlotByAddr_.end()) {
+#ifdef MENDA_CHECKS
+            menda_assert(live_[match->second],
+                         "request coalesced into a freed slot");
+#endif
             ++slots_[match->second].req.coalesced;
             ++coalescedHits_;
             slot_out = match->second;
@@ -53,6 +60,12 @@ RequestQueue::insert(const MemRequest &req, std::uint32_t &slot_out)
         readSlotByAddr_.emplace(req.addr, slot);
     ++enqueued_;
     slot_out = slot;
+#ifdef MENDA_CHECKS
+    menda_assert(!live_[slot], "free list handed out a live slot");
+    live_[slot] = true;
+    menda_assert(freeList_.size() + size_ == entries_,
+                 "request queue slot accounting out of balance");
+#endif
     return Insert::Fresh;
 }
 
@@ -61,6 +74,9 @@ RequestQueue::removeSlot(std::uint32_t slot)
 {
     menda_assert(slot < slots_.size() && size_ > 0,
                  "request queue remove out of range");
+#ifdef MENDA_CHECKS
+    menda_assert(live_[slot], "removed a slot that was not live");
+#endif
     Slot &entry = slots_[slot];
     if (entry.prev != npos)
         slots_[entry.prev].next = entry.next;
@@ -77,6 +93,11 @@ RequestQueue::removeSlot(std::uint32_t slot)
     }
     --size_;
     freeList_.push_back(slot);
+#ifdef MENDA_CHECKS
+    live_[slot] = false;
+    menda_assert(freeList_.size() + size_ == entries_,
+                 "request queue slot accounting out of balance");
+#endif
     return entry.req;
 }
 

@@ -152,6 +152,11 @@ class RequestQueue
 
     Counter enqueued_;
     Counter coalescedHits_;
+
+#ifdef MENDA_CHECKS
+    /** Invariant checker: which slots are currently on the live list. */
+    std::vector<bool> live_;
+#endif
 };
 
 } // namespace menda::mem

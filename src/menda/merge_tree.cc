@@ -21,6 +21,10 @@ MergeTree::MergeTree(const PuConfig &config, MergeKey key)
     for (unsigned p = 0; p < peCount(); ++p)
         pes_.emplace_back(config.fifoEntries);
     scheduledEpoch_.assign(peCount(), 0);
+#ifdef MENDA_CHECKS
+    lastPeKey_.assign(peCount(), 0);
+    peHasLast_.assign(peCount(), false);
+#endif
 }
 
 bool
@@ -46,6 +50,18 @@ MergeTree::pop()
 {
     Packet packet = rootOut_.pop();
     --buffered_;
+#ifdef MENDA_CHECKS
+    if (packet.valid) {
+        menda_assert(!rootHasLast_ ||
+                         mergeKey(packet, key_) >= lastRootKey_,
+                     "merge tree root emitted a decreasing key within "
+                     "a round");
+        rootHasLast_ = true;
+        lastRootKey_ = mergeKey(packet, key_);
+    }
+    if (packet.eol)
+        rootHasLast_ = false;
+#endif
     if (packet.valid)
         ++rootPops_;
     if (packet.eol)
@@ -124,6 +140,9 @@ MergeTree::evaluate(unsigned pe)
         out.push(Packet::endOfLine());
         ++buffered_;
         node.terminated[0] = node.terminated[1] = false;
+#ifdef MENDA_CHECKS
+        peHasLast_[pe] = false;
+#endif
         return true;
     }
 
@@ -154,6 +173,17 @@ MergeTree::evaluate(unsigned pe)
         // Last element of the merged stream: round completes here.
         node.terminated[0] = node.terminated[1] = false;
     }
+#ifdef MENDA_CHECKS
+    if (packet.valid) {
+        menda_assert(!peHasLast_[pe] ||
+                         mergeKey(packet, key_) >= lastPeKey_[pe],
+                     "merge PE forwarded a decreasing key within a round");
+        peHasLast_[pe] = true;
+        lastPeKey_[pe] = mergeKey(packet, key_);
+    }
+    if (packet.eol)
+        peHasLast_[pe] = false;
+#endif
     out.push(packet);
     ++peMoves_;
     return true;

@@ -142,6 +142,16 @@ class MergeTree
 
     Counter rootPops_, roundsDone_, rootIdle_, peMoves_, occupancyCycles_;
     std::uint64_t buffered_ = 0; ///< packets currently in any FIFO
+
+#ifdef MENDA_CHECKS
+    // Invariant-checker state: the last merge key each PE (and the root
+    // consumer) emitted in the current round. Every output stream of a
+    // correct merge is non-decreasing between end-of-line tokens.
+    std::vector<std::uint64_t> lastPeKey_;
+    std::vector<bool> peHasLast_;
+    std::uint64_t lastRootKey_ = 0;
+    bool rootHasLast_ = false;
+#endif
 };
 
 } // namespace menda::core

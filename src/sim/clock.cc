@@ -90,13 +90,17 @@ TickScheduler::step()
     }
     curTick_ = next;
 
-    // Catch up and fire. A domain whose period boundaries were passed
+    // Catch up, then fire. A domain whose period boundaries were passed
     // over while quiescent accounts them via skipCycles() — boundaries
     // strictly before curTick_ only, so input arriving this tick is never
-    // folded into a skipped window — then ticks if a boundary lands
-    // exactly on curTick_. A domain left mid-period (no coincident
-    // boundary) resyncs just past curTick_ and fires again on its next
-    // boundary, exactly where the dense schedule would tick it.
+    // folded into a skipped window. A domain left mid-period (no
+    // coincident boundary) resyncs just past curTick_ and fires again on
+    // its next boundary, exactly where the dense schedule would tick it.
+    //
+    // Every domain must catch up before ANY domain ticks: a ticking
+    // component may call into a component of a later, still-lagging
+    // domain (a PU enqueuing into its memory controller), and that callee
+    // would otherwise see — and timestamp with — a stale cycle counter.
     for (auto &domain : domains_) {
         if (domain->nextFire_ > curTick_)
             continue;
@@ -115,12 +119,14 @@ TickScheduler::step()
             domain->nextFire_ += lag * domain->period_;
             cyclesSkipped_ += lag;
         }
-        if (fires) {
-            for (Ticked *component : domain->components_)
-                component->tick();
-            ++domain->cycle_;
-            domain->nextFire_ += domain->period_;
-        }
+    }
+    for (auto &domain : domains_) {
+        if (domain->nextFire_ != curTick_)
+            continue;
+        for (Ticked *component : domain->components_)
+            component->tick();
+        ++domain->cycle_;
+        domain->nextFire_ += domain->period_;
     }
 }
 

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared seed plumbing for the randomized (fuzz-style) gtest suites.
+ *
+ * A suite's RNG base seed defaults to a fixed constant (deterministic CI)
+ * but can be overridden with the MENDA_FUZZ_SEED environment variable to
+ * explore fresh seeds, e.g. from a nightly job:
+ *
+ *   MENDA_FUZZ_SEED=$RANDOM ./tests/test_pu_fuzz
+ *
+ * Every randomized test wraps its body in a SCOPED_TRACE carrying the
+ * exact one-line command that re-runs just the failing case, so a red CI
+ * log is directly actionable.
+ */
+
+#ifndef MENDA_TESTS_FUZZ_SEED_HH
+#define MENDA_TESTS_FUZZ_SEED_HH
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace menda::testutil
+{
+
+/** The active base seed: MENDA_FUZZ_SEED if set, else @p fallback. */
+inline std::uint64_t
+fuzzSeedBase(std::uint64_t fallback)
+{
+    if (const char *env = std::getenv("MENDA_FUZZ_SEED"))
+        return std::strtoull(env, nullptr, 0);
+    return fallback;
+}
+
+/**
+ * One-line repro command for the currently running test under base seed
+ * @p base: pins both the seed and the gtest filter, so pasting it into a
+ * shell re-runs exactly the failing case.
+ */
+inline std::string
+reproCommand(std::uint64_t base, const char *binary)
+{
+    const ::testing::TestInfo *info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    std::ostringstream os;
+    os << "repro: MENDA_FUZZ_SEED=" << base << " ./tests/" << binary
+       << " --gtest_filter=" << info->test_suite_name() << "."
+       << info->name();
+    return os.str();
+}
+
+} // namespace menda::testutil
+
+#endif // MENDA_TESTS_FUZZ_SEED_HH

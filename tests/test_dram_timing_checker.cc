@@ -14,6 +14,7 @@
 
 #include "common/random.hh"
 #include "dram/controller.hh"
+#include "fuzz_seed.hh"
 
 using namespace menda;
 using namespace menda::dram;
@@ -75,6 +76,12 @@ class TimingChecker
     check_activate(const CommandRecord &cmd)
     {
         const unsigned bank = bankKey(cmd.coord);
+        // tRFC exclusion: the rank is unavailable while refreshing, and
+        // an ACT is the only command that can restart activity after all
+        // banks were precharged for the REF.
+        if (auto it = lastRef_.find(cmd.coord.rank); it != lastRef_.end())
+            expect(cmd.cycle >= it->second + config_.tRFC,
+                   "tRFC (ACT during refresh)", cmd);
         if (auto it = lastAct_.find(bank); it != lastAct_.end())
             expect(cmd.cycle >= it->second + config_.tRC, "tRC", cmd);
         if (auto it = lastPre_.find(bank); it != lastPre_.end())
@@ -170,6 +177,21 @@ class TimingChecker
                 cmd.coord.rank)
                 expect(false, "REF with open bank", cmd);
         }
+        // Refresh window: consecutive REFs of a rank must be separated
+        // by at least tRFC (the previous refresh must have completed)
+        // and the average-interval drift is bounded — DDR4 allows
+        // postponing at most 8 refreshes, i.e. a max gap of 9 x tREFI.
+        if (auto it = lastRef_.find(cmd.coord.rank);
+            it != lastRef_.end()) {
+            expect(cmd.cycle >= it->second + config_.tRFC,
+                   "tRFC (REF before refresh completed)", cmd);
+            expect(cmd.cycle <= it->second + 9 * config_.tREFI,
+                   "tREFI drift (refresh postponed too long)", cmd);
+        } else {
+            expect(cmd.cycle <= 9 * config_.tREFI,
+                   "tREFI drift (first refresh too late)", cmd);
+        }
+        lastRef_[cmd.coord.rank] = cmd.cycle;
     }
 
     DramConfig config_;
@@ -184,6 +206,7 @@ class TimingChecker
     std::map<unsigned, Cycle> lastReadGroup_, lastWriteGroup_;
     std::map<unsigned, std::deque<Cycle>> actWindow_;
     std::map<unsigned, unsigned> openRow_;
+    std::map<unsigned, Cycle> lastRef_; ///< per rank
     Cycle lastActAny_ = 0;
     bool lastActAnyCycleValid_ = false;
     Cycle busFreeAt_ = 0;
@@ -208,7 +231,9 @@ TEST_P(DramTimingProperty, RandomTrafficNeverViolatesConstraints)
     ctrl.setResponseCallback(
         [&](const mem::MemRequest &) { ++served; });
 
-    Rng rng(GetParam());
+    const std::uint64_t base = testutil::fuzzSeedBase(0);
+    SCOPED_TRACE(testutil::reproCommand(base, "test_dram_timing_checker"));
+    Rng rng(base + GetParam());
     unsigned sent_reads = 0, sent_writes = 0;
     Cycle limit = 200000;
     for (Cycle c = 0; c < limit; ++c) {

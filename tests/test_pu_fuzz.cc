@@ -12,6 +12,7 @@
 
 #include "baselines/spgemm_cpu.hh"
 #include "common/random.hh"
+#include "fuzz_seed.hh"
 #include "menda/system.hh"
 #include "sparse/generate.hh"
 
@@ -74,7 +75,9 @@ class PuFuzz : public ::testing::TestWithParam<unsigned>
 
 TEST_P(PuFuzz, TransposeAlwaysMatchesGolden)
 {
-    Rng rng(0xfeed0000u + GetParam());
+    const std::uint64_t base = testutil::fuzzSeedBase(0xfeed0000u);
+    SCOPED_TRACE(testutil::reproCommand(base, "test_pu_fuzz"));
+    Rng rng(base + GetParam());
     sparse::CsrMatrix a = randomMatrix(rng);
     SystemConfig config = randomConfig(rng);
     MendaSystem sys(config);
@@ -91,7 +94,9 @@ TEST_P(PuFuzz, TransposeAlwaysMatchesGolden)
 
 TEST_P(PuFuzz, SpmvAlwaysMatchesReference)
 {
-    Rng rng(0xbeef0000u + GetParam());
+    const std::uint64_t base = testutil::fuzzSeedBase(0xbeef0000u);
+    SCOPED_TRACE(testutil::reproCommand(base, "test_pu_fuzz"));
+    Rng rng(base + GetParam());
     sparse::CsrMatrix a = randomMatrix(rng);
     SystemConfig config = randomConfig(rng);
     std::vector<Value> x(a.cols);
@@ -109,7 +114,9 @@ TEST_P(PuFuzz, SpmvAlwaysMatchesReference)
 
 TEST_P(PuFuzz, SpgemmAlwaysMatchesHeapMergeExactly)
 {
-    Rng rng(0xcafe0000u + GetParam());
+    const std::uint64_t base = testutil::fuzzSeedBase(0xcafe0000u);
+    SCOPED_TRACE(testutil::reproCommand(base, "test_pu_fuzz"));
+    Rng rng(base + GetParam());
     // Modest dimensions keep the reference cheap, but the A NNZ count
     // (the merge fan-in) routinely exceeds the 4..64-leaf trees drawn
     // by randomConfig, so multi-round spills are fuzzed too.

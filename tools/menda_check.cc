@@ -1,0 +1,147 @@
+/**
+ * @file
+ * `menda_check` — differential conformance fuzzer for the MeNDA engines.
+ *
+ * Fuzz mode (default):
+ *
+ *   menda_check --budget 60s --seed 1 [--max-cases N] [--corpus DIR]
+ *               [--out DIR] [--max-failures N] [--no-minimize]
+ *
+ * generates coverage-biased random cases, runs each through every
+ * applicable engine variant (sequential, sharded-parallel, reference
+ * DRAM scheduler, traced, sampled), and diffs outputs, golden CPU
+ * references, and the deterministic run-report metrics. A mismatch is
+ * delta-debugged to a minimal spec and written to `<out>/fail-N.case.json`.
+ *
+ * Replay mode:
+ *
+ *   menda_check --replay tests/corpus/some.case.json
+ *
+ * re-runs one persisted case deterministically. Exit status: 0 = all
+ * cases conform, 1 = mismatch found, 2 = usage/file error.
+ *
+ * `--inject-tiebreak-bug` arms the hidden MENDA_TEST_FLIP_TIEBREAK fault
+ * (flipped FR-pass tie-break in the indexed DRAM scheduler) before any
+ * controller is constructed — the harness's own self-test that a real
+ * scheduler bug is caught and minimized.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "check/harness.hh"
+#include "common/config.hh"
+
+namespace
+{
+
+/**
+ * Join "--key value" argument pairs into the "--key=value" form Options
+ * understands, so `menda_check --budget 60s` works as documented.
+ */
+std::vector<std::string>
+joinedArgs(int argc, char **argv)
+{
+    std::vector<std::string> args;
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (i > 0 && arg.rfind("--", 0) == 0 &&
+            arg.find('=') == std::string::npos && i + 1 < argc &&
+            std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            arg += "=";
+            arg += argv[++i];
+        }
+        args.push_back(std::move(arg));
+    }
+    return args;
+}
+
+/** Parse "60", "60s", "2m" into seconds; menda_fatal-free, returns <0 on error. */
+double
+parseBudget(const std::string &text)
+{
+    if (text.empty())
+        return -1.0;
+    double scale = 1.0;
+    std::string number = text;
+    switch (text.back()) {
+      case 's': scale = 1.0; number.pop_back(); break;
+      case 'm': scale = 60.0; number.pop_back(); break;
+      case 'h': scale = 3600.0; number.pop_back(); break;
+      default: break;
+    }
+    char *end = nullptr;
+    const double value = std::strtod(number.c_str(), &end);
+    if (end == nullptr || *end != '\0' || value < 0.0)
+        return -1.0;
+    return value * scale;
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: menda_check [--budget 60s] [--seed N] [--max-cases N]\n"
+        "                   [--max-failures N] [--corpus DIR] [--out DIR]\n"
+        "                   [--no-minimize] [--inject-tiebreak-bug]\n"
+        "       menda_check --replay FILE.case.json\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace menda;
+
+    const std::vector<std::string> joined = joinedArgs(argc, argv);
+    std::vector<const char *> raw;
+    raw.reserve(joined.size());
+    for (const std::string &arg : joined)
+        raw.push_back(arg.c_str());
+    Options opts;
+    opts.parse(static_cast<int>(raw.size()), raw.data());
+
+    if (opts.has("help")) {
+        usage();
+        return 0;
+    }
+    if (opts.has("inject-tiebreak-bug"))
+        setenv("MENDA_TEST_FLIP_TIEBREAK", "1", 1);
+
+    try {
+        if (opts.has("replay")) {
+            const check::Mismatch mismatch =
+                check::replayFile(opts.get("replay"), std::cout);
+            return mismatch ? 1 : 0;
+        }
+
+        check::FuzzOptions options;
+        options.seed = static_cast<std::uint64_t>(opts.getInt("seed", 1));
+        const std::string budget = opts.get("budget", "60s");
+        options.budgetSeconds = parseBudget(budget);
+        if (options.budgetSeconds < 0.0) {
+            std::fprintf(stderr, "error: bad --budget '%s'\n",
+                         budget.c_str());
+            usage();
+            return 2;
+        }
+        options.maxCases =
+            static_cast<unsigned>(opts.getInt("max-cases", 0));
+        options.maxFailures =
+            static_cast<unsigned>(opts.getInt("max-failures", 1));
+        options.corpusDir = opts.get("corpus", "");
+        options.failureDir = opts.get("out", ".");
+        options.minimize = !opts.has("no-minimize");
+
+        const check::FuzzResult result = check::fuzz(options, std::cout);
+        return result.passed() ? 0 : 1;
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 2;
+    }
+}
