@@ -340,7 +340,9 @@ CaseSpec::oneLine() const
        << (requestCoalescing ? "" : " -coalesce")
        << (seamlessMerge ? "" : " -seamless") << " threads=" << threads
        << (withReferenceScheduler ? " +refsched" : "")
-       << (withTrace ? " +trace" : "");
+       << (withTrace ? " +trace" : "")
+       << (withFunctional ? " +functional" : "")
+       << (withSampledSim ? " +sampledsim" : "");
     if (samplePeriod != 0)
         os << " sample=" << samplePeriod;
     return os.str();
@@ -411,6 +413,8 @@ CaseSpec::toJson() const
     engine["referenceScheduler"] = withReferenceScheduler;
     engine["trace"] = withTrace;
     engine["samplePeriod"] = samplePeriod;
+    engine["functional"] = withFunctional;
+    engine["sampledSim"] = withSampledSim;
     o["engine"] = engine;
     return obs::json::Value(std::move(o)).serialize();
 }
@@ -456,6 +460,14 @@ CaseSpec::fromJson(const std::string &text)
     spec.withTrace = engine.at("trace").asBool();
     spec.samplePeriod =
         static_cast<std::uint64_t>(engine.at("samplePeriod").asNumber());
+    // Fast-tier knobs postdate menda.caseSpec/1; older case files simply
+    // lack them, which means "off".
+    spec.withFunctional = engine.has("functional")
+                              ? engine.at("functional").asBool()
+                              : false;
+    spec.withSampledSim = engine.has("sampledSim")
+                              ? engine.at("sampledSim").asBool()
+                              : false;
     spec.normalize();
     return spec;
 }

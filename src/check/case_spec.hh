@@ -90,6 +90,12 @@ struct CaseSpec
     bool withTrace = true;              ///< run the traced variant
     std::uint64_t samplePeriod = 0;     ///< sampled variant; 0 = skip
 
+    // Fast simulation tiers (DESIGN.md Sec. 12). These variants promise
+    // bitwise-identical *outputs* only, so the harness skips the report
+    // comparison for them.
+    bool withFunctional = false; ///< run the functional fast tier
+    bool withSampledSim = false; ///< run the sampled (SMARTS) fast tier
+
     /** Clamp fields into valid ranges and tie b.rows to a.cols. */
     void normalize();
 

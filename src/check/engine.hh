@@ -38,12 +38,22 @@ struct EngineVariant
     bool referenceScheduler = false;
     bool traced = false;            ///< in-memory tracer attached
     std::uint64_t samplePeriod = 0; ///< interval samplers armed
+    core::SimMode simMode = core::SimMode::Detailed; ///< fidelity tier
 
     /**
      * Sampling adds time series to the report, so a sampled run is only
      * comparable metric-by-metric, not byte-by-byte.
      */
     bool metricsOnly() const { return samplePeriod != 0; }
+
+    /**
+     * The fast tiers promise bitwise-identical kernel *outputs* but
+     * estimate timing, so their reports are not comparable at all.
+     */
+    bool outputsOnly() const
+    {
+        return simMode != core::SimMode::Detailed;
+    }
 };
 
 /** The variant list a spec's engine knobs select. Index 0 is baseline. */

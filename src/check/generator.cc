@@ -91,6 +91,8 @@ CaseGenerator::next()
     spec.withTrace = rng_.below(4) != 0;
     spec.samplePeriod =
         pick("sampled", 2, on_off) == 0 ? 128 + rng_.below(1024) : 0;
+    spec.withFunctional = pick("functional", 2, on_off) == 0;
+    spec.withSampledSim = pick("sampledsim", 2, on_off) == 0;
 
     spec.normalize();
     return spec;

@@ -104,6 +104,8 @@ shrinkCandidates(const CaseSpec &spec)
     add([](CaseSpec &c) { c.withTrace = false; });
     add([](CaseSpec &c) { c.samplePeriod = 0; });
     add([](CaseSpec &c) { c.withReferenceScheduler = false; });
+    add([](CaseSpec &c) { c.withFunctional = false; });
+    add([](CaseSpec &c) { c.withSampledSim = false; });
     add([](CaseSpec &c) { c.threads = 2; });
     return out;
 }

@@ -169,6 +169,31 @@ class IntervalSampler
         nextSampleAt_ = now - (now % period_) + period_;
     }
 
+    /**
+     * Catch up across a fast-forwarded span: record @p value at each
+     * period boundary in (lastBoundary, now]. Fast-forward skips the
+     * per-cycle sample() calls, so without this the series would have a
+     * hole over the span; with it the series stays boundary-aligned. A
+     * long span is capped at a bounded number of points (the value is
+     * constant over the span anyway) and the cursor jumps past @p now.
+     */
+    void
+    fillTo(std::uint64_t now, std::uint64_t value)
+    {
+        if (period_ == 0 || now < nextSampleAt_)
+            return;
+        constexpr unsigned kMaxCatchupPoints = 64;
+        unsigned emitted = 0;
+        while (nextSampleAt_ <= now && emitted < kMaxCatchupPoints) {
+            sampleCycles_.push_back(nextSampleAt_);
+            samples_.push_back(value);
+            nextSampleAt_ += period_;
+            ++emitted;
+        }
+        if (nextSampleAt_ <= now)
+            nextSampleAt_ = now - (now % period_) + period_;
+    }
+
     const std::vector<std::uint64_t> &values() const { return samples_; }
     const std::vector<std::uint64_t> &cycles() const
     {

@@ -127,6 +127,38 @@ class MemoryController : public Ticked
     Cycle quiescentFor() const override;
     void skipCycles(Cycle cycles) override { now_ += cycles; }
 
+    /**
+     * Window warming (DESIGN.md §12): mark the row containing @p addr
+     * open in its bank, as a detailed run that just streamed the
+     * preceding blocks of that span would have left it. Used when a
+     * sampled measurement window enters on a throwaway controller, so
+     * the window does not measure an artificially cold row-buffer
+     * state. Timing deadlines stay at their construction values (long
+     * satisfied), which is the correct post-steady-state view.
+     */
+    void
+    warmPrime(Addr addr)
+    {
+        const DramCoord coord = decoder_.decode(addr);
+        Bank &bank = bankAt(coord);
+        bank.open = true;
+        bank.openRow = coord.row;
+    }
+
+    /**
+     * Account block traffic completed outside the cycle model: the
+     * Functional tier services reads/writes semantically, so the
+     * readsServed()/writesServed() totals (and the block counts derived
+     * from them in reports) stay meaningful across tiers.
+     */
+    void
+    noteFunctionalTraffic(std::uint64_t read_blocks,
+                          std::uint64_t write_blocks)
+    {
+        reads_ += read_blocks;
+        writes_ += write_blocks;
+    }
+
     // --- observability ---
     Cycle curCycle() const { return now_; }
     const DramConfig &config() const { return config_; }

@@ -82,6 +82,15 @@ class OutputUnit
     /** Consume one packet popped from the root PE. */
     void accept(const Packet &packet);
 
+    /** Pre-size the merged arrays (fast tiers know the element count). */
+    void
+    reserveMerged(std::size_t elements)
+    {
+        merged_.row.reserve(merged_.row.size() + elements);
+        merged_.col.reserve(merged_.col.size() + elements);
+        merged_.val.reserve(merged_.val.size() + elements);
+    }
+
     /** Pending store blocks awaiting the PU's store port. */
     bool hasPendingStore() const { return !pendingStores_.empty(); }
     Addr nextStore() const { return pendingStores_.front(); }

@@ -96,15 +96,15 @@ class PrefetchBuffer
      */
     bool starving() const { return ready_.empty(); }
 
+    /** Number of data packets currently buffered or in flight. */
+    unsigned occupancy() const { return occupancy_; }
+
   private:
     /** Start fetching the next chunk if the policy allows. */
     void maybeStartChunk();
 
     /** Move on past streams that need no fetch (empty streams). */
     void drainTrivialAssignments();
-
-    /** Number of data packets currently buffered or in flight. */
-    unsigned occupancy() const { return occupancy_; }
 
     struct Chunk
     {

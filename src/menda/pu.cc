@@ -159,37 +159,6 @@ Pu::start()
     setupIteration();
 }
 
-Packet
-Pu::readElement(const StreamDesc &desc, std::uint64_t element) const
-{
-    const bool last = element + 1 == desc.end;
-    switch (desc.source) {
-      case StreamSource::CsrRow:
-        return Packet::data(desc.fixedIndex, csr_->idx[element],
-                            csr_->val[element], last);
-      case StreamSource::CscColumn: {
-        // SpMV iteration 0: the vectorized multiplier scales the value
-        // by the matching input-vector element as it is fetched.
-        const Value scaled = csc_->val[element] *
-                             (*vecX_)[desc.fixedIndex];
-        return Packet::data(csc_->idx[element], desc.fixedIndex, scaled,
-                            last);
-      }
-      case StreamSource::Coo: {
-        const MergedOutput &coo = coo_[desc.cooBuffer];
-        return Packet::data(coo.row[element], coo.col[element],
-                            coo.val[element], last);
-      }
-      case StreamSource::ScaledBRow:
-        // SpGEMM iteration 0: one partial product A(i, k) * B(k, j),
-        // scaled by the multiplier latched in the stream descriptor as
-        // the B element is fetched (the SpMV vectorized-multiply path).
-        return Packet::data(desc.fixedIndex, bMat_->idx[element],
-                            desc.scale * bMat_->val[element], last);
-    }
-    menda_panic("unreachable stream source");
-}
-
 StreamDesc
 Pu::streamForOrdinal(std::uint64_t ordinal) const
 {
@@ -239,6 +208,12 @@ Pu::setupIteration()
     const std::uint64_t n = streamCount();
     roundsTotal_ = (n + config_.leaves - 1) / config_.leaves;
     finalIteration_ = roundsTotal_ <= 1;
+    if (windowMode_) {
+        // A measurement window replays a SUFFIX of the parent's
+        // iteration; whether the output/reduction path runs in final
+        // mode is the parent's call, not a round-count property.
+        finalIteration_ = windowFinal_;
+    }
 
     OutputMode out_mode;
     Index total_cols = 0;
@@ -730,6 +705,15 @@ Pu::finishIteration()
             iterStartCycle_, cycle_);
 
     menda_assert(tree_.drained(), "merge tree not drained at iteration end");
+
+    if (windowMode_) {
+        // A window never owns the kernel result and never arms another
+        // iteration; park in Draining so the stores tick out and done()
+        // latches for the measurement loop.
+        drainStartCycle_ = cycle_;
+        phase_ = Phase::Draining;
+        return;
+    }
 
     if (finalIteration_) {
         const MergedOutput &merged = output_.merged();

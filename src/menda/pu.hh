@@ -25,6 +25,7 @@
 #define MENDA_MENDA_PU_HH
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -37,6 +38,7 @@
 #include "menda/output_unit.hh"
 #include "menda/prefetch_buffer.hh"
 #include "menda/pu_config.hh"
+#include "menda/sim_mode.hh"
 #include "menda/stream.hh"
 #include "obs/trace.hh"
 #include "sparse/format.hh"
@@ -61,6 +63,14 @@ struct IterationStats
     std::uint64_t readBlocks = 0;
     std::uint64_t writeBlocks = 0;
     std::uint64_t coalescedRequests = 0;
+};
+
+/** Per-PU results of a fast-tier run (DESIGN.md §12). */
+struct FastSimStats
+{
+    unsigned sampledWindows = 0;   ///< detailed windows executed
+    double errorBoundPct = 0.0;    ///< ~95% CI on the cycle extrapolation
+    Cycle fastForwardedCycles = 0; ///< cycles charged outside windows
 };
 
 class Pu : public Ticked
@@ -97,6 +107,27 @@ class Pu : public Ticked
 
     /** Arm execution; the host writes the start MMIO register (Sec. 4). */
     void start();
+
+    /** Fast-tier progress callback: (total PU cycles, fast-forwarded). */
+    using ProgressHook = std::function<void(Cycle, Cycle)>;
+
+    /**
+     * Run the whole kernel in the Functional tier (DESIGN.md §12):
+     * bitwise the same results as ticking to done(), with puCycles from
+     * an analytical per-iteration model. Call INSTEAD of start()/tick();
+     * done() holds on return.
+     */
+    FastSimStats runFunctional(const ProgressHook &progress = {});
+
+    /**
+     * Run the whole kernel in the Sampled tier (DESIGN.md §12):
+     * functional fast-forward punctuated by cycle-accurate measurement
+     * windows on throwaway PU/controller pairs; puCycles is
+     * extrapolated from the per-window merge rates. Results are bitwise
+     * the same as Detailed. Call INSTEAD of start()/tick().
+     */
+    FastSimStats runSampled(const SampledConfig &sampled,
+                            const ProgressHook &progress = {});
 
     bool started() const { return phase_ != Phase::Idle; }
     bool done() const { return phase_ == Phase::Done; }
@@ -193,6 +224,64 @@ class Pu : public Ticked
     void noteBufferActivity(unsigned slot);
     StreamDesc streamForOrdinal(std::uint64_t ordinal) const;
 
+    // --- fast simulation tiers (pu_fastsim.cc) ---
+
+    /**
+     * Measurement-window PU: a throwaway clone that replays @p streams
+     * (the parent's remaining work, slot-aligned) cycle-accurately
+     * against a private controller. Reads COO intermediates out of the
+     * PARENT's ping-pong buffers via cooSrc_.
+     */
+    Pu(const Pu &parent, std::vector<StreamDesc> streams, bool final_iter,
+       dram::MemoryController *mem);
+
+    /** start() for a window PU: no pointer walk, streams are explicit. */
+    void startWindow();
+
+    /**
+     * Functional warming (DESIGN.md §12): hand out the first streams and
+     * fill the prefetch buffers instantly to @p fill_frac of capacity
+     * (staggered around it), opening the touched DRAM rows, as the
+     * detailed engine mid-run would have. The fraction is fed back from
+     * the previous window's avgBufferFill() so priming tracks the
+     * workload's actual steady state. Not used for the run-start anchor
+     * window, whose cold start is reality.
+     */
+    void primeWindow(double fill_frac);
+
+    /** Mean prefetch-buffer occupancy over capacity, in [0, 1]. */
+    double avgBufferFill() const;
+
+    /** Fresh full clone of this PU (for the run-start anchor window). */
+    std::unique_ptr<Pu> cloneFresh(dram::MemoryController *mem) const;
+
+    /** Builds the slot-aligned remaining-work streams lazily. */
+    using SuffixFn = std::function<std::vector<StreamDesc>()>;
+    /** Called every checkpoint stride with total elements retired. */
+    using CheckpointFn =
+        std::function<void(std::uint64_t retired, const SuffixFn &)>;
+
+    /**
+     * Advance the current iteration's merge semantically (stable k-way
+     * merge replicating the tree's slot-order tiebreak and the root
+     * reduction), feeding output_ and draining its stores. Returns
+     * elements retired; bumps @p write_blocks per store drained.
+     */
+    std::uint64_t functionalMergeRounds(std::uint64_t &write_blocks,
+                                        const CheckpointFn &checkpoint);
+
+    /** Feed one root packet to output_ and drain its stores. */
+    void acceptFunctional(const Packet &packet,
+                          std::uint64_t &write_blocks);
+
+    /** Estimated read-block traffic of the current iteration. */
+    std::uint64_t functionalReadBlockEstimate() const;
+
+    /** Analytical cycle model of one iteration (Functional tier). */
+    Cycle estimateIterationCycles(std::uint64_t elements,
+                                  std::uint64_t read_blocks,
+                                  std::uint64_t write_blocks) const;
+
     std::string name_;
     PuConfig config_;
     PuMode mode_;
@@ -221,6 +310,11 @@ class Pu : public Ticked
     std::uint64_t roundsTotal_ = 0;
     std::uint64_t roundsBeforeIteration_ = 0; ///< root EOLs at setup
     MergedOutput coo_[2];               ///< functional ping-pong contents
+    /** Where Coo stream reads resolve: own coo_ normally; the parent's
+     *  buffers for a measurement-window PU. */
+    const MergedOutput *cooSrc_[2] = {&coo_[0], &coo_[1]};
+    bool windowMode_ = false;  ///< throwaway measurement-window PU
+    bool windowFinal_ = false; ///< window replays a final iteration
     Packet reduction_;                  ///< SpMV root reduction register
     Packet pendingEmit_;                ///< spilled second reduction emit
     bool pendingEmitValid_ = false;
@@ -296,6 +390,39 @@ class Pu : public Ticked
 
     StatGroup stats_;
 };
+
+// Inline: called once per element on both the detailed engine's fetch
+// path and the functional merge's hot loop.
+inline Packet
+Pu::readElement(const StreamDesc &desc, std::uint64_t element) const
+{
+    const bool last = element + 1 == desc.end;
+    switch (desc.source) {
+      case StreamSource::CsrRow:
+        return Packet::data(desc.fixedIndex, csr_->idx[element],
+                            csr_->val[element], last);
+      case StreamSource::CscColumn: {
+        // SpMV iteration 0: the vectorized multiplier scales the value
+        // by the matching input-vector element as it is fetched.
+        const Value scaled = csc_->val[element] *
+                             (*vecX_)[desc.fixedIndex];
+        return Packet::data(csc_->idx[element], desc.fixedIndex, scaled,
+                            last);
+      }
+      case StreamSource::Coo: {
+        const MergedOutput &coo = *cooSrc_[desc.cooBuffer];
+        return Packet::data(coo.row[element], coo.col[element],
+                            coo.val[element], last);
+      }
+      case StreamSource::ScaledBRow:
+        // SpGEMM iteration 0: one partial product A(i, k) * B(k, j),
+        // scaled by the multiplier latched in the stream descriptor as
+        // the B element is fetched (the SpMV vectorized-multiply path).
+        return Packet::data(desc.fixedIndex, bMat_->idx[element],
+                            desc.scale * bMat_->val[element], last);
+    }
+    menda_panic("unreachable stream source");
+}
 
 } // namespace menda::core
 

@@ -17,6 +17,18 @@ makeRunReport(const std::string &name, const std::string &kernel,
     report.setMeta("leaves", std::to_string(config.pu.leaves));
     report.setMeta("freqMhz", std::to_string(config.pu.freqMhz));
 
+    // Fast-tier provenance (DESIGN.md Sec. 12), gated so Detailed
+    // reports — including the conformance goldens — stay byte-stable.
+    if (result.simMode != SimMode::Detailed) {
+        report.setMeta("simMode", simModeName(result.simMode));
+        report.setMetric("sampledWindows",
+                         static_cast<double>(result.sampledWindows));
+        report.setMetric("errorBoundPct", result.errorBoundPct);
+        report.setMetric(
+            "fastForwardedCycles",
+            static_cast<double>(result.fastForwardedCycles));
+    }
+
     report.setMetric("seconds", result.seconds);
     report.setMetric("puCycles", static_cast<double>(result.puCycles));
     report.setMetric("iterations", result.iterations);

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Estimator math of the Sampled simulation tier (DESIGN.md §12).
+ *
+ * Kept as small pure functions so the extrapolation and its confidence
+ * interval are unit-testable independently of the PU machinery. A
+ * sampled run measures the merge retirement rate (root pops per PU
+ * cycle) inside each detailed window; the cycles of the fast-forwarded
+ * gaps are extrapolated from those rates, and the spread of the
+ * per-window rates yields an error bound on the extrapolated total.
+ */
+
+#ifndef MENDA_MENDA_SAMPLED_STATS_HH
+#define MENDA_MENDA_SAMPLED_STATS_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace menda::core::sampled
+{
+
+/**
+ * Steady-state rate of one measurement window: pops/cycles over the
+ * post-warmup span, falling back to the whole-window mean when the
+ * steady span is degenerate. Returns 0 when the window made no
+ * progress at all (caller must extend the window or reuse a prior
+ * rate).
+ */
+inline double
+windowRate(std::uint64_t pops_total, Cycle cycles_total,
+           std::uint64_t pops_at_warmup, Cycle warmup_cycles)
+{
+    if (cycles_total > warmup_cycles && pops_total > pops_at_warmup)
+        return static_cast<double>(pops_total - pops_at_warmup) /
+               static_cast<double>(cycles_total - warmup_cycles);
+    if (cycles_total > 0 && pops_total > 0)
+        return static_cast<double>(pops_total) /
+               static_cast<double>(cycles_total);
+    return 0.0;
+}
+
+/**
+ * Cycles to charge for @p elements retired off-window at @p rate
+ * elements/cycle (rounded up; at least one cycle per element batch).
+ */
+inline Cycle
+chargeForElements(std::uint64_t elements, double rate)
+{
+    if (elements == 0)
+        return 0;
+    if (rate <= 0.0)
+        return elements; // degenerate: assume the 1-pop/cycle bound
+    const double cycles = std::ceil(static_cast<double>(elements) / rate);
+    return cycles < 1.0 ? 1 : static_cast<Cycle>(cycles);
+}
+
+/**
+ * Variance-derived confidence interval (percent) on the rate
+ * extrapolation: a ~95% normal interval on the mean window rate,
+ * z * s / (mean * sqrt(k)), expressed in percent. With fewer than two
+ * windows there is no variance estimate — report 100% (unknown).
+ */
+inline double
+errorBoundPct(const std::vector<double> &rates)
+{
+    if (rates.size() < 2)
+        return 100.0;
+    double sum = 0.0;
+    for (double r : rates)
+        sum += r;
+    const double mean = sum / static_cast<double>(rates.size());
+    if (mean <= 0.0)
+        return 100.0;
+    double ss = 0.0;
+    for (double r : rates)
+        ss += (r - mean) * (r - mean);
+    const double stddev =
+        std::sqrt(ss / static_cast<double>(rates.size() - 1));
+    constexpr double z = 1.96; // ~95% two-sided normal quantile
+    const double bound =
+        100.0 * z * stddev /
+        (mean * std::sqrt(static_cast<double>(rates.size())));
+    return bound;
+}
+
+} // namespace menda::core::sampled
+
+#endif // MENDA_MENDA_SAMPLED_STATS_HH

@@ -20,7 +20,8 @@ namespace
 void
 emitProgress(std::size_t shard, Cycle cycles,
              std::chrono::steady_clock::time_point wall_start,
-             std::uint64_t outstanding)
+             std::uint64_t outstanding, const char *mode = "detailed",
+             Cycle fast_forwarded = 0)
 {
     const double secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -28,9 +29,11 @@ emitProgress(std::size_t shard, Cycle cycles,
             .count();
     const double rate = secs > 0.0 ? cycles / secs / 1e6 : 0.0;
     std::fprintf(stderr,
-                 "[menda] shard %zu: %.0f Mcycles, %.1f Msim-cycles/s, "
+                 "[menda] shard %zu [%s]: %.0f Mcycles "
+                 "(%.0f fast-forwarded), %.1f Msim-cycles/s, "
                  "%llu outstanding requests\n",
-                 shard, static_cast<double>(cycles) / 1e6, rate,
+                 shard, mode, static_cast<double>(cycles) / 1e6,
+                 static_cast<double>(fast_forwarded) / 1e6, rate,
                  static_cast<unsigned long long>(outstanding));
 }
 
@@ -79,6 +82,13 @@ MendaSystem::collect(RunResult &result, const PuVec &pus,
         result.busUtilization =
             static_cast<double>(bus_cycles_total) /
             (static_cast<double>(elapsed_mem_cycles) * pus.size());
+    result.simMode = config_.simMode;
+    for (const FastSimStats &st : lastFastStats_) {
+        result.sampledWindows += st.sampledWindows;
+        result.errorBoundPct =
+            std::max(result.errorBoundPct, st.errorBoundPct);
+        result.fastForwardedCycles += st.fastForwardedCycles;
+    }
 }
 
 double
@@ -88,6 +98,10 @@ MendaSystem::simulate(std::vector<std::unique_ptr<Pu>> &pus,
 {
     menda_assert(pus.size() == mems.size(),
                  "simulate: PU/controller count mismatch");
+
+    lastFastStats_.clear();
+    if (config_.simMode != SimMode::Detailed)
+        return simulateFast(pus);
 
     const std::uint64_t progress_every = config_.progressEveryCycles;
     const auto wall_start = std::chrono::steady_clock::now();
@@ -177,6 +191,49 @@ MendaSystem::simulate(std::vector<std::unique_ptr<Pu>> &pus,
         shard_seconds[i] = sched.seconds();
     });
     return *std::max_element(shard_seconds.begin(), shard_seconds.end());
+}
+
+double
+MendaSystem::simulateFast(std::vector<std::unique_ptr<Pu>> &pus)
+{
+    // Tracing needs the ticked engine; fast tiers have no per-cycle
+    // events to record, so a requested tracer is ignored here.
+    const std::uint64_t progress_every = config_.progressEveryCycles;
+    const auto wall_start = std::chrono::steady_clock::now();
+    const char *mode = simModeName(config_.simMode);
+    lastFastStats_.assign(pus.size(), FastSimStats{});
+
+    const auto run_one = [&](std::size_t i) {
+        Cycle next_mark = progress_every;
+        Pu::ProgressHook hook;
+        if (progress_every != 0)
+            hook = [&, i](Cycle cycles, Cycle fast_forwarded) {
+                if (cycles < next_mark)
+                    return;
+                emitProgress(i, cycles, wall_start, 0, mode,
+                             fast_forwarded);
+                next_mark =
+                    cycles - cycles % progress_every + progress_every;
+            };
+        lastFastStats_[i] = config_.simMode == SimMode::Functional
+                                ? pus[i]->runFunctional(hook)
+                                : pus[i]->runSampled(config_.sampled,
+                                                     hook);
+    };
+
+    if (config_.hostThreads == 1) {
+        for (std::size_t i = 0; i < pus.size(); ++i)
+            run_one(i);
+    } else {
+        ParallelRunner pool(config_.hostThreads);
+        pool.run(pus.size(), run_one);
+    }
+
+    Cycle max_cycles = 0;
+    for (const auto &pu : pus)
+        max_cycles = std::max(max_cycles, pu->cycles());
+    return static_cast<double>(max_cycles) /
+           (static_cast<double>(config_.pu.freqMhz) * 1e6);
 }
 
 TransposeResult

@@ -68,6 +68,18 @@ struct SystemConfig
      */
     std::uint64_t progressEveryCycles = 0;
 
+    /**
+     * Simulation fidelity tier (DESIGN.md Sec. 12). Detailed is the
+     * cycle-accurate engine; Functional advances the kernel semantics
+     * directly with an analytical cycle model; Sampled interleaves
+     * functional fast-forward with periodic cycle-accurate windows.
+     * Kernel outputs are bitwise identical across all three tiers.
+     */
+    SimMode simMode = SimMode::Detailed;
+
+    /** Window/period knobs of the Sampled tier. */
+    SampledConfig sampled;
+
     /** One PU per rank. */
     unsigned
     totalPus() const
@@ -117,6 +129,13 @@ struct RunResult
     // SystemConfig::samplePeriod was set.
     IntervalSampler treeOccupancy;
     IntervalSampler readQueueDepth;
+
+    // Fast-tier provenance (DESIGN.md Sec. 12). Defaults describe a
+    // Detailed run; the extra fields are only meaningful otherwise.
+    SimMode simMode = SimMode::Detailed;
+    unsigned sampledWindows = 0;   ///< detailed windows run (Sampled)
+    double errorBoundPct = 0.0;    ///< ~95% CI on extrapolated puCycles
+    Cycle fastForwardedCycles = 0; ///< cycles charged outside windows
 
     std::uint64_t totalBlocks() const { return readBlocks + writeBlocks; }
 
@@ -219,9 +238,19 @@ class MendaSystem
     simulate(std::vector<std::unique_ptr<Pu>> &pus,
              std::vector<std::unique_ptr<dram::MemoryController>> &mems);
 
+    /**
+     * Fast-tier counterpart of simulate(): run every PU through
+     * runFunctional()/runSampled() (sequentially or across the host
+     * thread pool) and return the simulated seconds of the slowest PU.
+     * Fills lastFastStats_ for collect() to aggregate.
+     */
+    double
+    simulateFast(std::vector<std::unique_ptr<Pu>> &pus);
+
     SystemConfig config_;
     obs::Tracer *tracer_ = nullptr;
     std::vector<std::vector<IterationStats>> lastIterStats_;
+    std::vector<FastSimStats> lastFastStats_;
 };
 
 } // namespace menda::core

@@ -3,25 +3,73 @@
  * `menda_report_diff` — the CI perf-regression gate.
  *
  *   menda_report_diff <baseline.json> <current.json> [--tolerance=0.10]
+ *                     [--min=metric:value[,...]] [--max=metric:value[,...]]
  *
  * Compares two menda.runReport/1 files metric by metric and prints a
  * table of relative deltas. Exit status:
  *
  *   0  every checked metric is within tolerance
- *   1  a metric drifted past tolerance or disappeared
+ *   1  a metric drifted past tolerance or disappeared, or an absolute
+ *      --min/--max assertion failed
  *   2  usage / file / parse error
  *
  * Metrics whose names mark them host-dependent (wall time,
  * sim-cycles/sec, host thread counts, trace overhead) are printed but
- * never gate — see obs::DiffOptions::ignoreSubstrings.
+ * never gate through the relative diff — see
+ * obs::DiffOptions::ignoreSubstrings. The --min/--max assertions check
+ * the CURRENT report against absolute floors/ceilings instead and apply
+ * to any metric, including the diff-ignored ones (that is how CI gates
+ * wallGeomeanSampledSpeedup, which no relative diff can see).
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "common/config.hh"
 #include "obs/report.hh"
+
+namespace
+{
+
+struct Assertion
+{
+    std::string metric;
+    double value = 0.0;
+};
+
+/** Parse "name:value[,name:value...]"; exits with status 2 on junk. */
+std::vector<Assertion>
+parseAssertions(const std::string &spec, const char *flag)
+{
+    std::vector<Assertion> out;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t end = spec.find(',', pos);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string item = spec.substr(pos, end - pos);
+        const std::size_t colon = item.rfind(':');
+        if (colon == std::string::npos || colon == 0) {
+            std::fprintf(stderr, "error: bad --%s item '%s' (want "
+                                 "metric:value)\n", flag, item.c_str());
+            std::exit(2);
+        }
+        try {
+            out.push_back(
+                {item.substr(0, colon), std::stod(item.substr(colon + 1))});
+        } catch (...) {
+            std::fprintf(stderr, "error: bad --%s value in '%s'\n", flag,
+                         item.c_str());
+            std::exit(2);
+        }
+        pos = end + 1;
+    }
+    return out;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -73,7 +121,25 @@ main(int argc, char **argv)
     for (const std::string &name : result.added)
         std::printf("%-34s new metric (not gated)\n", name.c_str());
 
-    if (!result.passed) {
+    bool asserts_ok = true;
+    const auto check = [&](const Assertion &a, bool is_min) {
+        const bool present = current.hasMetric(a.metric);
+        const double value = current.metric(a.metric);
+        const bool ok =
+            present && (is_min ? value >= a.value : value <= a.value);
+        std::printf("%-34s %14.6g %s %-8.6g%s\n", a.metric.c_str(), value,
+                    is_min ? ">=" : "<=", a.value,
+                    !present ? "  MISSING"
+                    : ok     ? "  (asserted)"
+                             : "  REGRESSION");
+        asserts_ok = asserts_ok && ok;
+    };
+    for (const Assertion &a : parseAssertions(opts.get("min", ""), "min"))
+        check(a, true);
+    for (const Assertion &a : parseAssertions(opts.get("max", ""), "max"))
+        check(a, false);
+
+    if (!result.passed || !asserts_ok) {
         std::printf("FAIL: drift beyond +/-%.0f%% tolerance\n",
                     options.tolerance * 100.0);
         return 1;

@@ -15,6 +15,9 @@
  *               0 = all hardware threads; results are bit-identical)
  *               --no-prefetch --no-coalescing --no-seamless
  *               --row-partitioning --json
+ *               --sim-mode=detailed|functional|sampled[:W,P]
+ *               (fast tiers: same kernel outputs, estimated timing;
+ *               W = window cycles, P = fast-forward period cycles)
  *
  * Observability flags (transpose/spmv/spgemm):
  *   --trace=FILE         write a Chrome trace-event JSON of the run
@@ -98,6 +101,12 @@ systemFromFlags(const Options &opts)
     config.progressEveryCycles =
         static_cast<std::uint64_t>(opts.getInt("progress", 0)) *
         1'000'000;
+    if (opts.has("sim-mode")) {
+        const std::string spec = opts.get("sim-mode", "detailed");
+        if (!core::parseSimMode(spec, config.simMode, config.sampled))
+            menda_fatal("bad --sim-mode '", spec,
+                        "' (detailed|functional|sampled[:W,P])");
+    }
     return config;
 }
 
