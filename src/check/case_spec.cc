@@ -342,7 +342,8 @@ CaseSpec::oneLine() const
        << (withReferenceScheduler ? " +refsched" : "")
        << (withTrace ? " +trace" : "")
        << (withFunctional ? " +functional" : "")
-       << (withSampledSim ? " +sampledsim" : "");
+       << (withSampledSim ? " +sampledsim" : "")
+       << (withServed ? " +served" : "");
     if (samplePeriod != 0)
         os << " sample=" << samplePeriod;
     return os.str();
@@ -415,6 +416,7 @@ CaseSpec::toJson() const
     engine["samplePeriod"] = samplePeriod;
     engine["functional"] = withFunctional;
     engine["sampledSim"] = withSampledSim;
+    engine["served"] = withServed;
     o["engine"] = engine;
     return obs::json::Value(std::move(o)).serialize();
 }
@@ -468,6 +470,8 @@ CaseSpec::fromJson(const std::string &text)
     spec.withSampledSim = engine.has("sampledSim")
                               ? engine.at("sampledSim").asBool()
                               : false;
+    spec.withServed =
+        engine.has("served") ? engine.at("served").asBool() : false;
     spec.normalize();
     return spec;
 }

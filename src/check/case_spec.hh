@@ -96,6 +96,14 @@ struct CaseSpec
     bool withFunctional = false; ///< run the functional fast tier
     bool withSampledSim = false; ///< run the sampled (SMARTS) fast tier
 
+    /**
+     * Route the case through the menda_serve daemon core (in-process,
+     * no sockets): submit over the `menda.job/1` protocol, execute in
+     * scheduler slices, decode the response. The detailed tier's
+     * outputs AND report must be byte-identical to the direct path.
+     */
+    bool withServed = false;
+
     /** Clamp fields into valid ranges and tie b.rows to a.cols. */
     void normalize();
 

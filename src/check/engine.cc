@@ -6,6 +6,8 @@
 #include "baselines/spgemm_cpu.hh"
 #include "menda/run_report.hh"
 #include "obs/trace.hh"
+#include "serve/protocol.hh"
+#include "serve/serve_core.hh"
 
 namespace menda::check
 {
@@ -36,12 +38,94 @@ variantsFor(const CaseSpec &spec)
         v.simMode = core::SimMode::Sampled;
         variants.push_back(v);
     }
+    if (spec.withServed) {
+        EngineVariant v;
+        v.name = "served";
+        v.served = true;
+        variants.push_back(v);
+    }
     return variants;
 }
+
+namespace
+{
+
+/**
+ * Execute @p spec through an in-process ServeCore: encode the inputs as
+ * a `menda.job/1` submit, pump the scheduler until the job completes,
+ * and decode outputs + report from the protocol response — the same
+ * code path a daemon client exercises, minus the socket.
+ */
+CaseOutcome
+runServed(const CaseSpec &spec)
+{
+    serve::ServeConfig serve_config;
+    serve_config.system = spec.systemConfig();
+    serve_config.ranksPerJob = serve_config.system.totalPus();
+    // A small slice forces many step()/yield rounds per job, which is
+    // exactly the resumable execution this variant exists to check.
+    serve_config.sliceCycles = 1024;
+    serve::ServeCore core(serve_config);
+
+    obs::json::Object request;
+    request["schema"] = obs::json::Value(serve::kSchema);
+    request["type"] = obs::json::Value("submit");
+    request["kernel"] =
+        obs::json::Value(std::string(kernelName(spec.kernel)));
+    const sparse::CsrMatrix a = buildMatrix(spec.a);
+    request["a"] = serve::csrToJson(a);
+    if (spec.kernel == Kernel::Spmv)
+        request["x"] =
+            serve::valueVectorToJson(spec.spmvInput(a.cols));
+    else if (spec.kernel == Kernel::Spgemm)
+        request["b"] = serve::csrToJson(buildMatrix(spec.b));
+
+    const obs::json::Value submitted =
+        core.handle(obs::json::Value(std::move(request)));
+    std::string code, message;
+    if (serve::isError(submitted, &code, &message))
+        throw std::runtime_error("served submit rejected (" + code +
+                                 "): " + message);
+    const auto id =
+        static_cast<std::uint64_t>(submitted.at("id").asNumber());
+    core.runUntilIdle();
+
+    const obs::json::Value response = core.jobResponse(id);
+    if (response.at("state").asString() != "done")
+        throw std::runtime_error(
+            "served job ended in state '" +
+            response.at("state").asString() + "'");
+
+    CaseOutcome outcome;
+    switch (spec.kernel) {
+      case Kernel::Transpose:
+        outcome.csc = serve::cscFromJson(response.at("csc"));
+        break;
+      case Kernel::Spmv:
+        outcome.y = serve::doubleVectorFromJson(response.at("y"));
+        break;
+      case Kernel::Spgemm:
+        outcome.c = serve::csrFromJson(response.at("c"));
+        break;
+    }
+    // The served report differs from the direct path's only in its
+    // name; after renaming, the bytes must match exactly.
+    outcome.report = obs::RunReport::fromJson(
+        response.at("report").serialize());
+    outcome.report.setName(std::string("menda_check.") +
+                           kernelName(spec.kernel));
+    outcome.reportJson = outcome.report.toJson();
+    return outcome;
+}
+
+} // namespace
 
 CaseOutcome
 runVariant(const CaseSpec &spec, const EngineVariant &variant)
 {
+    if (variant.served)
+        return runServed(spec);
+
     core::SystemConfig config = spec.systemConfig();
     config.hostThreads = variant.hostThreads;
     config.dram.referenceScheduler = variant.referenceScheduler;

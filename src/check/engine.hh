@@ -41,6 +41,15 @@ struct EngineVariant
     core::SimMode simMode = core::SimMode::Detailed; ///< fidelity tier
 
     /**
+     * Execute through the menda_serve core (in-process): the case is
+     * encoded as a `menda.job/1` submit, run in scheduler slices, and
+     * decoded from the response. Detailed-tier serve jobs must match
+     * the direct path byte-for-byte, reports included — the resumable
+     * step()/yield execution may not perturb anything.
+     */
+    bool served = false;
+
+    /**
      * Sampling adds time series to the report, so a sampled run is only
      * comparable metric-by-metric, not byte-by-byte.
      */

@@ -93,6 +93,7 @@ CaseGenerator::next()
         pick("sampled", 2, on_off) == 0 ? 128 + rng_.below(1024) : 0;
     spec.withFunctional = pick("functional", 2, on_off) == 0;
     spec.withSampledSim = pick("sampledsim", 2, on_off) == 0;
+    spec.withServed = pick("served", 2, on_off) == 0;
 
     spec.normalize();
     return spec;

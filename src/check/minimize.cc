@@ -106,6 +106,7 @@ shrinkCandidates(const CaseSpec &spec)
     add([](CaseSpec &c) { c.withReferenceScheduler = false; });
     add([](CaseSpec &c) { c.withFunctional = false; });
     add([](CaseSpec &c) { c.withSampledSim = false; });
+    add([](CaseSpec &c) { c.withServed = false; });
     add([](CaseSpec &c) { c.threads = 2; });
     return out;
 }

@@ -23,12 +23,45 @@
 #include <memory>
 #include <vector>
 
+#include "menda/memory_map.hh"
 #include "menda/page_coloring.hh"
 #include "menda/system.hh"
 #include "sparse/format.hh"
 
 namespace menda::nmp
 {
+
+/**
+ * First-fit span allocator over a simulated address space. Frees
+ * coalesce with both neighbors and the top-of-heap bump pointer, so
+ * alloc/free cycles of a long-lived Context reuse space instead of
+ * growing without bound.
+ */
+class SpanAllocator
+{
+  public:
+    /** Reserve @p size units; returns the span's base. */
+    Addr alloc(Addr size);
+
+    /** Return a span obtained from alloc(). */
+    void free(Addr base, Addr size);
+
+    /** One past the highest unit ever live (leak diagnostics). */
+    Addr highWater() const { return highWater_; }
+
+    /** Units currently allocated. */
+    Addr liveUnits() const { return live_; }
+
+  private:
+    struct Span
+    {
+        Addr base = 0, end = 0;
+    };
+    std::vector<Span> free_; ///< sorted by base, coalesced
+    Addr top_ = 0;       ///< bump pointer; shrinks when the top frees
+    Addr highWater_ = 0; ///< max top_ ever reached
+    Addr live_ = 0;
+};
 
 /** Per-PU memory-mapped control/status registers (Sec. 4). */
 struct MmioRegisters
@@ -62,11 +95,29 @@ class MatrixHandle
     const std::vector<sparse::RowSlice> &slices() const { return slices_; }
     const core::PageTable &pageTable() const { return pages_; }
 
+    /** Rank-local physical layout of rank @p r's slice. */
+    const core::PuMemoryMap &memoryMap(unsigned r) const
+    {
+        return maps_[r];
+    }
+
+    /** First virtual page of this allocation's colored span. */
+    Addr pageBase() const { return pageBase_; }
+
+    /** Still allocated (Context::free not called). */
+    bool alive() const { return alive_; }
+
   private:
     friend class Context;
     const sparse::CsrMatrix *csr_ = nullptr;
     std::vector<sparse::RowSlice> slices_;
     core::PageTable pages_;
+    std::vector<core::PuMemoryMap> maps_; ///< per-rank physical layout
+    std::vector<Addr> rankBase_;          ///< per-rank span base
+    std::vector<Addr> rankBytes_;         ///< per-rank span size
+    Addr pageBase_ = 0;                   ///< colored virtual page span
+    Addr pageSpan_ = 0;
+    bool alive_ = false;
     bool transposed_ = false;
     sparse::CscMatrix result_;
     std::vector<sparse::CscMatrix> partitions_;
@@ -85,6 +136,15 @@ class Context
      * placement of each slice (and its row-pointer pages) in its rank.
      */
     MatrixHandle allocSparseMatrix(const sparse::CsrMatrix &a);
+
+    /**
+     * Release @p handle's simulated allocation (rank-local spans and
+     * colored virtual pages) back to the Context's allocators. The
+     * handle's result views stay readable; re-allocating reuses the
+     * freed space. Must not be called while the handle's offload is in
+     * flight.
+     */
+    void free(MatrixHandle &handle);
 
     /** Launch transposition; returns immediately (sets start signals). */
     void transpose(MatrixHandle &handle);
@@ -123,10 +183,24 @@ class Context
     /** MMIO register file of PU @p rank (testing/diagnostics). */
     const MmioRegisters &mmio(unsigned rank) const { return mmio_[rank]; }
 
+    /** Bytes currently allocated in rank @p r (leak diagnostics). */
+    Addr rankLiveBytes(unsigned r) const
+    {
+        return rankAlloc_[r].liveUnits();
+    }
+
+    /** High-water mark of rank @p r's simulated heap, bytes. */
+    Addr rankHighWater(unsigned r) const
+    {
+        return rankAlloc_[r].highWater();
+    }
+
   private:
     core::SystemConfig config_;
     core::MendaSystem system_;
     std::vector<MmioRegisters> mmio_;
+    std::vector<SpanAllocator> rankAlloc_; ///< rank-local bytes, per rank
+    SpanAllocator pageAlloc_;              ///< colored virtual pages
 
     // Simulation host: pending offload executed in wait().
     enum class Op { None, Transpose, Spmv, Spgemm };

@@ -7,7 +7,7 @@ namespace menda::core
 
 PageTable
 colorPages(const std::vector<sparse::RowSlice> &slices, std::uint64_t rows,
-           std::uint64_t nnz)
+           std::uint64_t nnz, Addr base_page)
 {
     PageTable table;
     const std::uint64_t entry_bytes = 4;
@@ -19,7 +19,7 @@ colorPages(const std::vector<sparse::RowSlice> &slices, std::uint64_t rows,
         const Addr array_base =
             static_cast<Addr>(array) * ((nnz * entry_bytes / pageBytes) +
                                         slices.size() + 1) * pageBytes;
-        Addr next_page = array_base / pageBytes;
+        Addr next_page = base_page + array_base / pageBytes;
         for (unsigned color = 0; color < slices.size(); ++color) {
             const std::uint64_t bytes = slices[color].nnz() * entry_bytes;
             const std::uint64_t pages =
@@ -32,7 +32,8 @@ colorPages(const std::vector<sparse::RowSlice> &slices, std::uint64_t rows,
     // Row-pointer array: pages follow the row ranges; a page needed by
     // two ranks is duplicated, each rank getting a private copy.
     const Addr ptr_base =
-        2 * ((nnz * entry_bytes / pageBytes) + slices.size() + 1);
+        base_page + 2 * ((nnz * entry_bytes / pageBytes) +
+                         slices.size() + 1);
     const std::uint64_t entries_per_page = pageBytes / entry_bytes;
     std::uint64_t last_page_of_prev = ~std::uint64_t(0);
     for (unsigned color = 0; color < slices.size(); ++color) {
@@ -55,6 +56,17 @@ colorPages(const std::vector<sparse::RowSlice> &slices, std::uint64_t rows,
     menda_assert(table.duplicatedBytes <= pageBytes * slices.size(),
                  "row-pointer duplication exceeds page_size x ranks");
     return table;
+}
+
+std::uint64_t
+coloredPageSpan(std::size_t ranks, std::uint64_t rows, std::uint64_t nnz)
+{
+    const std::uint64_t entry_bytes = 4;
+    const std::uint64_t array_pages =
+        (nnz * entry_bytes / pageBytes) + ranks + 1;
+    const std::uint64_t ptr_pages =
+        rows / (pageBytes / entry_bytes) + 1;
+    return 2 * array_pages + ptr_pages;
 }
 
 } // namespace menda::core

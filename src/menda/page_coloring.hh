@@ -54,11 +54,23 @@ struct PageTable
  * aligned by construction of the allocator); row-pointer pages follow
  * the row ranges and are duplicated when shared between two ranks.
  *
- * @param rows  total rows (row-pointer array has rows + 1 entries)
- * @param nnz   total non-zeros (index/value arrays)
+ * @param rows      total rows (row-pointer array has rows + 1 entries)
+ * @param nnz       total non-zeros (index/value arrays)
+ * @param base_page first virtual page of the allocation. Every entry's
+ *                  virtualPage is offset by this, so multiple live
+ *                  matrices get disjoint page tables when the caller
+ *                  allocates disjoint spans (see coloredPageSpan).
  */
 PageTable colorPages(const std::vector<sparse::RowSlice> &slices,
-                     std::uint64_t rows, std::uint64_t nnz);
+                     std::uint64_t rows, std::uint64_t nnz,
+                     Addr base_page = 0);
+
+/**
+ * Number of virtual pages colorPages will lay out for this shape —
+ * what an allocator must reserve before picking a base_page.
+ */
+std::uint64_t coloredPageSpan(std::size_t ranks, std::uint64_t rows,
+                              std::uint64_t nnz);
 
 } // namespace menda::core
 

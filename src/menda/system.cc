@@ -1,396 +1,66 @@
 #include "menda/system.hh"
 
-#include <algorithm>
-#include <chrono>
-#include <cstdio>
-
-#include "common/log.hh"
-#include "sim/clock.hh"
-#include "sim/parallel.hh"
-#include "spgemm/plan.hh"
+#include "menda/job.hh"
 
 namespace menda::core
 {
 
-namespace
-{
+// The kernel entry points are thin wrappers over the plan/job split in
+// menda/job.hh: build the host-side layout, construct the simulated
+// components, run to completion, assemble the output. menda_serve uses
+// the same pieces through start*() but advances jobs in bounded slices
+// and shares plans across requests via the residency cache.
 
-/** One --progress heartbeat line on stderr (never stdout: that may be
- *  carrying the machine-readable run report). */
-void
-emitProgress(std::size_t shard, Cycle cycles,
-             std::chrono::steady_clock::time_point wall_start,
-             std::uint64_t outstanding, const char *mode = "detailed",
-             Cycle fast_forwarded = 0)
+std::unique_ptr<KernelJob>
+MendaSystem::startTranspose(const sparse::CsrMatrix &a)
 {
-    const double secs =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      wall_start)
-            .count();
-    const double rate = secs > 0.0 ? cycles / secs / 1e6 : 0.0;
-    std::fprintf(stderr,
-                 "[menda] shard %zu [%s]: %.0f Mcycles "
-                 "(%.0f fast-forwarded), %.1f Msim-cycles/s, "
-                 "%llu outstanding requests\n",
-                 shard, mode, static_cast<double>(cycles) / 1e6,
-                 static_cast<double>(fast_forwarded) / 1e6, rate,
-                 static_cast<unsigned long long>(outstanding));
+    return std::make_unique<KernelJob>(config_, planTranspose(a, config_),
+                                       tracer_);
 }
 
-} // namespace
-
-template <typename PuVec, typename MemVec>
-void
-MendaSystem::collect(RunResult &result, const PuVec &pus,
-                     const MemVec &mems, double seconds)
+std::unique_ptr<KernelJob>
+MendaSystem::startSpmv(const sparse::CsrMatrix &a,
+                       const std::vector<Value> &x)
 {
-    result.seconds = seconds;
-    lastIterStats_.clear();
-    Cycle bus_cycles_total = 0;
-    Cycle elapsed_mem_cycles = 0;
-    for (std::size_t i = 0; i < pus.size(); ++i) {
-        const Pu &pu = *pus[i];
-        const dram::MemoryController &mem = *mems[i];
-        result.puCycles = std::max(result.puCycles, pu.cycles());
-        result.iterations = std::max(result.iterations,
-                                     pu.iterationsExecuted());
-        result.readBlocks += mem.readsServed();
-        result.writeBlocks += mem.writesServed();
-        result.coalescedRequests +=
-            mem.readQueue().coalescedHits().value();
-        result.rowConflicts += mem.rowConflicts();
-        result.activates += mem.activates();
-        result.treeOccupancyPacketCycles +=
-            pu.tree().occupancyPacketCycles();
-        result.leafPushStallCycles += pu.leafPushStallCycles();
-        result.outputStallCycles += pu.outputStallCycles();
-        result.readLatency.merge(mem.readLatency());
-        result.leafStallRuns.merge(pu.leafStallRuns());
-        for (unsigned r = 0; r < mem.config().ranks; ++r) {
-            result.rankActivates.push_back(mem.rankActivates(r));
-            result.rankBursts.push_back(mem.rankBursts(r));
-        }
-        bus_cycles_total += mem.busBusyCycles();
-        elapsed_mem_cycles = std::max(elapsed_mem_cycles, mem.curCycle());
-        lastIterStats_.push_back(pu.iterationStats());
-    }
-    if (!pus.empty()) {
-        result.treeOccupancy = pus[0]->occupancySamples();
-        result.readQueueDepth = mems[0]->readDepthSamples();
-    }
-    if (elapsed_mem_cycles > 0)
-        result.busUtilization =
-            static_cast<double>(bus_cycles_total) /
-            (static_cast<double>(elapsed_mem_cycles) * pus.size());
-    result.simMode = config_.simMode;
-    for (const FastSimStats &st : lastFastStats_) {
-        result.sampledWindows += st.sampledWindows;
-        result.errorBoundPct =
-            std::max(result.errorBoundPct, st.errorBoundPct);
-        result.fastForwardedCycles += st.fastForwardedCycles;
-    }
+    return std::make_unique<KernelJob>(config_, planSpmv(a, config_), x,
+                                       tracer_);
 }
 
-double
-MendaSystem::simulate(std::vector<std::unique_ptr<Pu>> &pus,
-                      std::vector<std::unique_ptr<dram::MemoryController>>
-                          &mems)
+std::unique_ptr<KernelJob>
+MendaSystem::startSpgemm(const sparse::CsrMatrix &a,
+                         const sparse::CsrMatrix &b)
 {
-    menda_assert(pus.size() == mems.size(),
-                 "simulate: PU/controller count mismatch");
-
-    lastFastStats_.clear();
-    if (config_.simMode != SimMode::Detailed)
-        return simulateFast(pus);
-
-    const std::uint64_t progress_every = config_.progressEveryCycles;
-    const auto wall_start = std::chrono::steady_clock::now();
-
-    // Observability forces the sharded path even on one host thread:
-    // the shared-scheduler mode below skips a domain only when every
-    // component of every rank is quiescent, so its idle-skip windows —
-    // and with them the trace spans and sampler timestamps — differ
-    // from the per-rank schedules. Per-rank results are bit-identical
-    // either way (the PR-1 guarantee), and the sharded schedule does
-    // not depend on the host thread count, which is what makes traces
-    // and reports byte-identical between --threads 1 and --threads N.
-    const bool observed = tracer_ != nullptr ||
-                          config_.pu.samplePeriod != 0 ||
-                          config_.dram.samplePeriod != 0;
-
-    if (config_.hostThreads == 1 && !observed) {
-        // Legacy sequential mode: all pairs share one scheduler and the
-        // run ends when the slowest PU finishes.
-        TickScheduler sched;
-        ClockDomain *pu_clk = sched.addDomain("pu", config_.pu.freqMhz);
-        ClockDomain *mem_clk = sched.addDomain("dram",
-                                               config_.dram.freqMhz);
-        for (std::size_t i = 0; i < pus.size(); ++i) {
-            mem_clk->attach(mems[i].get());
-            pu_clk->attach(pus[i].get());
-        }
-        for (auto &pu : pus)
-            pu->start();
-        Cycle next_mark = progress_every;
-        sched.runUntil([&] {
-            if (progress_every != 0 && pu_clk->curCycle() >= next_mark) {
-                std::uint64_t outstanding = 0;
-                for (const auto &mem : mems)
-                    outstanding += mem->readQueue().size() +
-                                   mem->writeQueue().size();
-                emitProgress(0, pu_clk->curCycle(), wall_start,
-                             outstanding);
-                next_mark += progress_every;
-            }
-            return std::all_of(pus.begin(), pus.end(),
-                               [](const auto &pu) { return pu->done(); });
-        });
-        return sched.seconds();
-    }
-
-    // Shard per rank (Sec. 3.5: PUs never communicate during a pass):
-    // each (PU, controller) pair owns a private scheduler and runs to
-    // completion on a pool thread. Shards share nothing mutable — const
-    // matrix slices in, per-shard components and counters out — so the
-    // join below is the only synchronization point, after which the
-    // caller reads every result single-threaded. Each shard stops at
-    // its own PU's completion tick; the simulated time of the run is
-    // the slowest shard's clock, exactly as in the shared-scheduler
-    // mode, and all outputs and counters are bit-identical to it.
-    if (tracer_)
-        tracer_->ensureShards(pus.size());
-    std::vector<double> shard_seconds(pus.size(), 0.0);
-    ParallelRunner pool(config_.hostThreads);
-    pool.run(pus.size(), [&](std::size_t i) {
-        TickScheduler sched;
-        if (tracer_) {
-            // Shard i is written only by this job; registration order
-            // (controller, PU, then the scheduler's idle-skip tracks at
-            // finalize) is fixed, so the trace is deterministic.
-            obs::TraceShard *shard = tracer_->shard(i);
-            sched.setTrace(shard);
-            mems[i]->attachTrace(shard);
-            pus[i]->attachTrace(shard);
-        }
-        ClockDomain *pu_clk = sched.addDomain("pu", config_.pu.freqMhz);
-        ClockDomain *mem_clk = sched.addDomain("dram",
-                                               config_.dram.freqMhz);
-        mem_clk->attach(mems[i].get());
-        pu_clk->attach(pus[i].get());
-        pus[i]->start();
-        Cycle next_mark = progress_every;
-        sched.runUntil([&] {
-            if (progress_every != 0 && pus[i]->cycles() >= next_mark) {
-                emitProgress(i, pus[i]->cycles(), wall_start,
-                             mems[i]->readQueue().size() +
-                                 mems[i]->writeQueue().size());
-                next_mark += progress_every;
-            }
-            return pus[i]->done();
-        });
-        shard_seconds[i] = sched.seconds();
-    });
-    return *std::max_element(shard_seconds.begin(), shard_seconds.end());
-}
-
-double
-MendaSystem::simulateFast(std::vector<std::unique_ptr<Pu>> &pus)
-{
-    // Tracing needs the ticked engine; fast tiers have no per-cycle
-    // events to record, so a requested tracer is ignored here.
-    const std::uint64_t progress_every = config_.progressEveryCycles;
-    const auto wall_start = std::chrono::steady_clock::now();
-    const char *mode = simModeName(config_.simMode);
-    lastFastStats_.assign(pus.size(), FastSimStats{});
-
-    const auto run_one = [&](std::size_t i) {
-        Cycle next_mark = progress_every;
-        Pu::ProgressHook hook;
-        if (progress_every != 0)
-            hook = [&, i](Cycle cycles, Cycle fast_forwarded) {
-                if (cycles < next_mark)
-                    return;
-                emitProgress(i, cycles, wall_start, 0, mode,
-                             fast_forwarded);
-                next_mark =
-                    cycles - cycles % progress_every + progress_every;
-            };
-        lastFastStats_[i] = config_.simMode == SimMode::Functional
-                                ? pus[i]->runFunctional(hook)
-                                : pus[i]->runSampled(config_.sampled,
-                                                     hook);
-    };
-
-    if (config_.hostThreads == 1) {
-        for (std::size_t i = 0; i < pus.size(); ++i)
-            run_one(i);
-    } else {
-        ParallelRunner pool(config_.hostThreads);
-        pool.run(pus.size(), run_one);
-    }
-
-    Cycle max_cycles = 0;
-    for (const auto &pu : pus)
-        max_cycles = std::max(max_cycles, pu->cycles());
-    return static_cast<double>(max_cycles) /
-           (static_cast<double>(config_.pu.freqMhz) * 1e6);
+    return std::make_unique<KernelJob>(config_,
+                                       planSpgemm(a, b, config_), tracer_);
 }
 
 TransposeResult
 MendaSystem::transpose(const sparse::CsrMatrix &a)
 {
-    const unsigned n_pus = config_.totalPus();
-    TransposeResult result;
-    result.slices = config_.rowPartitioning
-                        ? sparse::partitionByRows(a, n_pus)
-                        : sparse::partitionByNnz(a, n_pus);
-
-    std::vector<sparse::CsrMatrix> slices;
-    slices.reserve(n_pus);
-    for (const auto &slice : result.slices)
-        slices.push_back(sparse::extractSlice(a, slice));
-
-    std::vector<std::unique_ptr<dram::MemoryController>> mems;
-    std::vector<std::unique_ptr<Pu>> pus;
-    for (unsigned i = 0; i < n_pus; ++i) {
-        mems.push_back(std::make_unique<dram::MemoryController>(
-            "mem" + std::to_string(i), config_.dram,
-            config_.pu.requestCoalescing));
-        pus.push_back(std::make_unique<Pu>(
-            "pu" + std::to_string(i), config_.pu, &slices[i],
-            result.slices[i].rowBegin, mems.back().get()));
-    }
-
-    const double seconds = simulate(pus, mems);
-    collect(result, pus, mems, seconds);
-
-    // Merge the per-PU CSC partitions column-wise: slices are ordered by
-    // row range, so rows stay ascending within each merged column and
-    // each partition's column segment lands contiguously, in PU order.
-    result.csc.rows = a.rows;
-    result.csc.cols = a.cols;
-    result.csc.ptr.assign(static_cast<std::size_t>(a.cols) + 1, 0);
-    result.csc.idx.resize(a.nnz());
-    result.csc.val.resize(a.nnz());
-    for (const auto &pu : pus) {
-        const std::vector<std::uint32_t> &ptr = pu->resultCsc().ptr;
-        for (std::size_t c = 0; c < a.cols; ++c)
-            result.csc.ptr[c + 1] += ptr[c + 1] - ptr[c];
-    }
-    for (std::size_t c = 0; c < a.cols; ++c)
-        result.csc.ptr[c + 1] += result.csc.ptr[c];
-    std::vector<std::uint32_t> cursor;
-    cursor.reserve(a.cols);
-    cursor.assign(result.csc.ptr.begin(), result.csc.ptr.end() - 1);
-    for (const auto &pu : pus) {
-        const sparse::CscMatrix &part = pu->resultCsc();
-        for (std::size_t c = 0; c < a.cols; ++c) {
-            const std::uint32_t begin = part.ptr[c];
-            const std::uint32_t len = part.ptr[c + 1] - begin;
-            if (len == 0)
-                continue;
-            std::copy_n(part.idx.begin() + begin, len,
-                        result.csc.idx.begin() + cursor[c]);
-            std::copy_n(part.val.begin() + begin, len,
-                        result.csc.val.begin() + cursor[c]);
-            cursor[c] += len;
-        }
-    }
+    auto job = startTranspose(a);
+    job->runToCompletion();
+    TransposeResult result = job->takeTranspose();
+    lastIterStats_ = job->iterationStats();
     return result;
 }
 
 SpmvResult
 MendaSystem::spmv(const sparse::CsrMatrix &a, const std::vector<Value> &x)
 {
-    menda_assert(x.size() == a.cols, "spmv: vector length mismatch");
-    const unsigned n_pus = config_.totalPus();
-    SpmvResult result;
-    auto slices = sparse::partitionByNnz(a, n_pus);
-
-    // The input is stored in the partitioned CSC format that matches the
-    // output of MeNDA transposition (Sec. 3.6).
-    std::vector<sparse::CscMatrix> csc_slices;
-    csc_slices.reserve(n_pus);
-    for (const auto &slice : slices)
-        csc_slices.push_back(
-            sparse::transposeReference(sparse::extractSlice(a, slice)));
-
-    std::vector<std::unique_ptr<dram::MemoryController>> mems;
-    std::vector<std::unique_ptr<Pu>> pus;
-    for (unsigned i = 0; i < n_pus; ++i) {
-        mems.push_back(std::make_unique<dram::MemoryController>(
-            "mem" + std::to_string(i), config_.dram,
-            config_.pu.requestCoalescing));
-        pus.push_back(std::make_unique<Pu>(
-            "pu" + std::to_string(i), config_.pu, &csc_slices[i], &x,
-            slices[i].rowBegin, mems.back().get()));
-    }
-
-    const double seconds = simulate(pus, mems);
-    collect(result, pus, mems, seconds);
-
-    result.y.assign(a.rows, 0.0);
-    for (unsigned i = 0; i < n_pus; ++i) {
-        const auto &part = pus[i]->resultVector();
-        for (std::size_t r = 0; r < part.size(); ++r)
-            result.y[slices[i].rowBegin + r] = part[r];
-    }
+    auto job = startSpmv(a, x);
+    job->runToCompletion();
+    SpmvResult result = job->takeSpmv();
+    lastIterStats_ = job->iterationStats();
     return result;
 }
 
 SpgemmResult
 MendaSystem::spgemm(const sparse::CsrMatrix &a, const sparse::CsrMatrix &b)
 {
-    menda_assert(a.cols == b.rows, "spgemm: inner dimension mismatch");
-    const unsigned n_pus = config_.totalPus();
-    SpgemmResult result;
-    // Balance the *merge work* (partial products), not A's NNZ: PU
-    // execution time tracks the elements its tree merges (Sec. 3.5
-    // balancing on the SpGEMM work profile).
-    result.slices = config_.rowPartitioning
-                        ? sparse::partitionByRows(a, n_pus)
-                        : spgemm::partitionByMergeWork(a, b, n_pus);
-    result.partialProducts = spgemm::partialProductCount(a, b);
-
-    std::vector<sparse::CsrMatrix> slices;
-    slices.reserve(n_pus);
-    for (const auto &slice : result.slices)
-        slices.push_back(sparse::extractSlice(a, slice));
-
-    // B is replicated into every rank (PUs never communicate).
-    std::vector<std::unique_ptr<dram::MemoryController>> mems;
-    std::vector<std::unique_ptr<Pu>> pus;
-    for (unsigned i = 0; i < n_pus; ++i) {
-        mems.push_back(std::make_unique<dram::MemoryController>(
-            "mem" + std::to_string(i), config_.dram,
-            config_.pu.requestCoalescing));
-        pus.push_back(std::make_unique<Pu>(
-            "pu" + std::to_string(i), config_.pu, &slices[i], &b,
-            result.slices[i].rowBegin, mems.back().get()));
-    }
-
-    const double seconds = simulate(pus, mems);
-    collect(result, pus, mems, seconds);
-
-    // Stitch the per-PU CSR slices: partitions are contiguous ascending
-    // row ranges, so C is the row-wise concatenation of the slice
-    // results (local row pointers rebased onto the global array).
-    result.c.rows = a.rows;
-    result.c.cols = b.cols;
-    result.c.ptr.assign(static_cast<std::size_t>(a.rows) + 1, 0);
-    for (unsigned i = 0; i < n_pus; ++i) {
-        const sparse::CsrMatrix &part = pus[i]->resultCsr();
-        const Index base = result.slices[i].rowBegin;
-        for (Index r = 0; r < part.rows; ++r)
-            result.c.ptr[base + r + 1] =
-                part.ptr[r + 1] - part.ptr[r];
-        result.c.idx.insert(result.c.idx.end(), part.idx.begin(),
-                            part.idx.end());
-        result.c.val.insert(result.c.val.end(), part.val.begin(),
-                            part.val.end());
-    }
-    for (std::size_t r = 0; r < a.rows; ++r)
-        result.c.ptr[r + 1] += result.c.ptr[r];
+    auto job = startSpgemm(a, b);
+    job->runToCompletion();
+    SpgemmResult result = job->takeSpgemm();
+    lastIterStats_ = job->iterationStats();
     return result;
 }
 

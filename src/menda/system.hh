@@ -27,6 +27,8 @@
 namespace menda::core
 {
 
+class KernelJob;
+
 struct SystemConfig
 {
     unsigned channels = 1;
@@ -215,6 +217,19 @@ class MendaSystem
     SpgemmResult spgemm(const sparse::CsrMatrix &a,
                         const sparse::CsrMatrix &b);
 
+    /**
+     * Resumable counterparts of the batch entry points above: build the
+     * plan, construct the simulated components, and hand back a job
+     * that the caller advances via KernelJob::step() (or finishes with
+     * runToCompletion()). The batch methods are thin wrappers over
+     * these; outputs and reports are bit-identical either way.
+     */
+    std::unique_ptr<KernelJob> startTranspose(const sparse::CsrMatrix &a);
+    std::unique_ptr<KernelJob> startSpmv(const sparse::CsrMatrix &a,
+                                         const std::vector<Value> &x);
+    std::unique_ptr<KernelJob> startSpgemm(const sparse::CsrMatrix &a,
+                                           const sparse::CsrMatrix &b);
+
     /** Per-PU iteration stats of the last run (Fig. 12 analysis). */
     const std::vector<std::vector<IterationStats>> &
     lastIterationStats() const
@@ -223,34 +238,9 @@ class MendaSystem
     }
 
   private:
-    /** Aggregate controller/PU counters into @p result. */
-    template <typename PuVec, typename MemVec>
-    void collect(RunResult &result, const PuVec &pus, const MemVec &mems,
-                 double seconds);
-
-    /**
-     * Cycle-simulate the constructed (PU, controller) pairs to
-     * completion — sequentially on one shared scheduler, or sharded
-     * per rank across a host thread pool (config_.hostThreads) —
-     * and return the simulated seconds of the slowest PU.
-     */
-    double
-    simulate(std::vector<std::unique_ptr<Pu>> &pus,
-             std::vector<std::unique_ptr<dram::MemoryController>> &mems);
-
-    /**
-     * Fast-tier counterpart of simulate(): run every PU through
-     * runFunctional()/runSampled() (sequentially or across the host
-     * thread pool) and return the simulated seconds of the slowest PU.
-     * Fills lastFastStats_ for collect() to aggregate.
-     */
-    double
-    simulateFast(std::vector<std::unique_ptr<Pu>> &pus);
-
     SystemConfig config_;
     obs::Tracer *tracer_ = nullptr;
     std::vector<std::vector<IterationStats>> lastIterStats_;
-    std::vector<FastSimStats> lastFastStats_;
 };
 
 } // namespace menda::core

@@ -1,0 +1,213 @@
+#include "serve/protocol.hh"
+
+#include <stdexcept>
+
+namespace menda::serve
+{
+
+namespace
+{
+
+void
+expect(bool ok, const char *what)
+{
+    if (!ok)
+        throw std::runtime_error(std::string("menda.job/1: ") + what);
+}
+
+template <typename T>
+obs::json::Value
+numberArray(const std::vector<T> &v)
+{
+    obs::json::Array array;
+    array.reserve(v.size());
+    for (const T &x : v)
+        array.push_back(obs::json::Value(static_cast<double>(x)));
+    return obs::json::Value(std::move(array));
+}
+
+template <typename T>
+std::vector<T>
+numbersFrom(const obs::json::Value &v, const char *what)
+{
+    expect(v.isArray(), what);
+    std::vector<T> out;
+    out.reserve(v.asArray().size());
+    for (const obs::json::Value &x : v.asArray()) {
+        expect(x.isNumber(), what);
+        out.push_back(static_cast<T>(x.asNumber()));
+    }
+    return out;
+}
+
+std::uint64_t
+indexField(const obs::json::Value &v, const char *key)
+{
+    const obs::json::Value &field = v.at(key);
+    expect(field.isNumber(), "matrix field is not a number");
+    expect(field.asNumber() >= 0, "matrix dimension is negative");
+    return static_cast<std::uint64_t>(field.asNumber());
+}
+
+} // namespace
+
+std::string
+encodeFrame(const std::string &payload)
+{
+    const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+    std::string frame;
+    frame.reserve(payload.size() + 4);
+    frame.push_back(static_cast<char>(n & 0xff));
+    frame.push_back(static_cast<char>((n >> 8) & 0xff));
+    frame.push_back(static_cast<char>((n >> 16) & 0xff));
+    frame.push_back(static_cast<char>((n >> 24) & 0xff));
+    frame += payload;
+    return frame;
+}
+
+FrameReader::Status
+FrameReader::next(std::string *payload, std::string *error)
+{
+    if (poisoned_) {
+        if (error)
+            *error = "frame stream already poisoned";
+        return Status::Error;
+    }
+    if (buf_.size() < 4)
+        return Status::NeedMore;
+    const auto b = [&](std::size_t i) {
+        return static_cast<std::uint32_t>(
+            static_cast<unsigned char>(buf_[i]));
+    };
+    const std::uint32_t n = b(0) | (b(1) << 8) | (b(2) << 16) |
+                            (b(3) << 24);
+    if (n > maxFrame_) {
+        poisoned_ = true;
+        if (error)
+            *error = "frame of " + std::to_string(n) +
+                     " bytes exceeds the " + std::to_string(maxFrame_) +
+                     " byte limit";
+        return Status::Error;
+    }
+    if (buf_.size() < 4 + static_cast<std::size_t>(n))
+        return Status::NeedMore;
+    payload->assign(buf_, 4, n);
+    buf_.erase(0, 4 + static_cast<std::size_t>(n));
+    return Status::Frame;
+}
+
+obs::json::Value
+csrToJson(const sparse::CsrMatrix &m)
+{
+    obs::json::Object o;
+    o["rows"] = obs::json::Value(static_cast<double>(m.rows));
+    o["cols"] = obs::json::Value(static_cast<double>(m.cols));
+    o["ptr"] = numberArray(m.ptr);
+    o["idx"] = numberArray(m.idx);
+    o["val"] = numberArray(m.val);
+    return obs::json::Value(std::move(o));
+}
+
+sparse::CsrMatrix
+csrFromJson(const obs::json::Value &v)
+{
+    expect(v.isObject(), "matrix is not an object");
+    sparse::CsrMatrix m;
+    m.rows = static_cast<Index>(indexField(v, "rows"));
+    m.cols = static_cast<Index>(indexField(v, "cols"));
+    m.ptr = numbersFrom<std::uint32_t>(v.at("ptr"), "bad ptr array");
+    m.idx = numbersFrom<std::uint32_t>(v.at("idx"), "bad idx array");
+    m.val = numbersFrom<Value>(v.at("val"), "bad val array");
+    expect(m.ptr.size() == static_cast<std::size_t>(m.rows) + 1,
+           "ptr length != rows + 1");
+    expect(m.idx.size() == m.val.size(), "idx/val length mismatch");
+    expect(!m.ptr.empty() && m.ptr.front() == 0, "ptr[0] != 0");
+    expect(m.ptr.back() == m.idx.size(), "ptr[rows] != nnz");
+    for (std::size_t r = 1; r < m.ptr.size(); ++r)
+        expect(m.ptr[r - 1] <= m.ptr[r], "ptr not monotonic");
+    for (std::uint32_t c : m.idx)
+        expect(c < m.cols, "column index out of range");
+    return m;
+}
+
+obs::json::Value
+cscToJson(const sparse::CscMatrix &m)
+{
+    obs::json::Object o;
+    o["rows"] = obs::json::Value(static_cast<double>(m.rows));
+    o["cols"] = obs::json::Value(static_cast<double>(m.cols));
+    o["ptr"] = numberArray(m.ptr);
+    o["idx"] = numberArray(m.idx);
+    o["val"] = numberArray(m.val);
+    return obs::json::Value(std::move(o));
+}
+
+sparse::CscMatrix
+cscFromJson(const obs::json::Value &v)
+{
+    expect(v.isObject(), "matrix is not an object");
+    sparse::CscMatrix m;
+    m.rows = static_cast<Index>(indexField(v, "rows"));
+    m.cols = static_cast<Index>(indexField(v, "cols"));
+    m.ptr = numbersFrom<std::uint32_t>(v.at("ptr"), "bad ptr array");
+    m.idx = numbersFrom<std::uint32_t>(v.at("idx"), "bad idx array");
+    m.val = numbersFrom<Value>(v.at("val"), "bad val array");
+    expect(m.ptr.size() == static_cast<std::size_t>(m.cols) + 1,
+           "ptr length != cols + 1");
+    expect(m.idx.size() == m.val.size(), "idx/val length mismatch");
+    return m;
+}
+
+obs::json::Value
+doubleVectorToJson(const std::vector<double> &v)
+{
+    obs::json::Array array;
+    array.reserve(v.size());
+    for (double x : v)
+        array.push_back(obs::json::Value(x));
+    return obs::json::Value(std::move(array));
+}
+
+std::vector<double>
+doubleVectorFromJson(const obs::json::Value &v)
+{
+    return numbersFrom<double>(v, "bad double vector");
+}
+
+obs::json::Value
+valueVectorToJson(const std::vector<Value> &v)
+{
+    return numberArray(v);
+}
+
+std::vector<Value>
+valueVectorFromJson(const obs::json::Value &v)
+{
+    return numbersFrom<Value>(v, "bad value vector");
+}
+
+obs::json::Value
+errorResponse(const std::string &code, const std::string &message)
+{
+    obs::json::Object o;
+    o["schema"] = obs::json::Value(kSchema);
+    o["type"] = obs::json::Value("error");
+    o["code"] = obs::json::Value(code);
+    o["message"] = obs::json::Value(message);
+    return obs::json::Value(std::move(o));
+}
+
+bool
+isError(const obs::json::Value &v, std::string *code, std::string *message)
+{
+    if (!v.isObject() || !v.at("type").isString() ||
+        v.at("type").asString() != "error")
+        return false;
+    if (code && v.at("code").isString())
+        *code = v.at("code").asString();
+    if (message && v.at("message").isString())
+        *message = v.at("message").asString();
+    return true;
+}
+
+} // namespace menda::serve

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Wire protocol of menda_serve (schema `menda.job/1`, DESIGN.md §13).
+ *
+ * Messages are length-prefixed JSON: a 4-byte little-endian payload
+ * length followed by one UTF-8 JSON document. The prefix makes framing
+ * trivial to validate — a frame longer than the negotiated maximum is
+ * rejected before any allocation proportional to the claimed length,
+ * and a truncated frame is simply an incomplete buffer, never a parse
+ * of garbage.
+ *
+ * Requests are objects with a "type" field: "submit", "status",
+ * "stats", "shutdown". Responses mirror with "submitted", "jobStatus",
+ * "stats", "shuttingDown", or "error" (typed "code" + human "message").
+ * Matrices travel as {"rows","cols","ptr","idx","val"} arrays; float
+ * values round-trip exactly through the canonical JSON serializer.
+ */
+
+#ifndef MENDA_SERVE_PROTOCOL_HH
+#define MENDA_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "obs/json.hh"
+#include "sparse/format.hh"
+
+namespace menda::serve
+{
+
+constexpr const char *kSchema = "menda.job/1";
+
+/** Default ceiling on one frame's payload bytes. */
+constexpr std::uint32_t kDefaultMaxFrameBytes = 64u << 20;
+
+/** Prepend the 4-byte little-endian length prefix to @p payload. */
+std::string encodeFrame(const std::string &payload);
+
+/**
+ * Incremental frame decoder for one connection. feed() appends raw
+ * bytes; next() yields complete payloads. An oversized length prefix
+ * poisons the stream (Error is sticky — close the connection).
+ */
+class FrameReader
+{
+  public:
+    explicit FrameReader(std::uint32_t max_frame = kDefaultMaxFrameBytes)
+        : maxFrame_(max_frame)
+    {}
+
+    void feed(const char *data, std::size_t n) { buf_.append(data, n); }
+
+    enum class Status : std::uint8_t
+    {
+        NeedMore, ///< no complete frame buffered yet
+        Frame,    ///< *payload holds the next frame
+        Error,    ///< protocol violation; *error describes it
+    };
+
+    Status next(std::string *payload, std::string *error);
+
+    /** Bytes buffered but not yet consumed (truncated-frame detection). */
+    std::size_t pendingBytes() const { return buf_.size(); }
+
+  private:
+    std::uint32_t maxFrame_;
+    std::string buf_;
+    bool poisoned_ = false;
+};
+
+// --- JSON codecs (throw std::runtime_error on malformed input) ---
+
+obs::json::Value csrToJson(const sparse::CsrMatrix &m);
+sparse::CsrMatrix csrFromJson(const obs::json::Value &v);
+obs::json::Value cscToJson(const sparse::CscMatrix &m);
+sparse::CscMatrix cscFromJson(const obs::json::Value &v);
+obs::json::Value doubleVectorToJson(const std::vector<double> &v);
+std::vector<double> doubleVectorFromJson(const obs::json::Value &v);
+obs::json::Value valueVectorToJson(const std::vector<Value> &v);
+std::vector<Value> valueVectorFromJson(const obs::json::Value &v);
+
+/** Build a typed error response (code e.g. "queueFull", "badRequest"). */
+obs::json::Value errorResponse(const std::string &code,
+                               const std::string &message);
+
+/** True iff @p v is an error response; fills code/message if non-null. */
+bool isError(const obs::json::Value &v, std::string *code = nullptr,
+             std::string *message = nullptr);
+
+} // namespace menda::serve
+
+#endif // MENDA_SERVE_PROTOCOL_HH

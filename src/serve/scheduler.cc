@@ -1,0 +1,84 @@
+#include "serve/scheduler.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/log.hh"
+
+namespace menda::serve
+{
+
+const char *
+schedPolicyName(SchedPolicy policy)
+{
+    return policy == SchedPolicy::Fair ? "fair" : "fifo";
+}
+
+SchedPolicy
+parseSchedPolicy(const std::string &name)
+{
+    if (name == "fair")
+        return SchedPolicy::Fair;
+    if (name == "fifo")
+        return SchedPolicy::Fifo;
+    throw std::runtime_error("unknown scheduler policy: " + name);
+}
+
+std::vector<std::uint64_t>
+RankScheduler::pick(const std::vector<Runnable> &runnable)
+{
+    std::vector<std::uint64_t> picked;
+    unsigned free_ranks = machineRanks_;
+
+    if (policy_ == SchedPolicy::Fifo) {
+        // Holds persist: drop holds whose job disappeared, keep the
+        // rest, then admit from the head of the queue in strict order —
+        // the first job that doesn't fit blocks everything behind it.
+        for (std::uint64_t id : held_) {
+            const auto it = std::find_if(
+                runnable.begin(), runnable.end(),
+                [id](const Runnable &r) { return r.id == id; });
+            if (it == runnable.end())
+                continue; // finished() not yet called; be tolerant
+            menda_assert(it->ranks <= free_ranks,
+                         "fifo holds exceed the machine");
+            free_ranks -= it->ranks;
+            picked.push_back(id);
+        }
+        for (const Runnable &r : runnable) {
+            if (std::find(picked.begin(), picked.end(), r.id) !=
+                picked.end())
+                continue;
+            if (r.ranks > free_ranks)
+                break; // head-of-line blocking: FIFO does not backfill
+            free_ranks -= r.ranks;
+            picked.push_back(r.id);
+            held_.push_back(r.id);
+        }
+        return picked;
+    }
+
+    // Fair: rotate the scan origin so every runnable job gets slices at
+    // the same long-run rate; skip jobs that don't fit this round.
+    if (runnable.empty())
+        return picked;
+    const std::size_t n = runnable.size();
+    const std::size_t origin = static_cast<std::size_t>(rotate_ % n);
+    ++rotate_;
+    for (std::size_t k = 0; k < n && free_ranks > 0; ++k) {
+        const Runnable &r = runnable[(origin + k) % n];
+        if (r.ranks > free_ranks)
+            continue;
+        free_ranks -= r.ranks;
+        picked.push_back(r.id);
+    }
+    return picked;
+}
+
+void
+RankScheduler::finished(std::uint64_t id)
+{
+    held_.erase(std::remove(held_.begin(), held_.end(), id), held_.end());
+}
+
+} // namespace menda::serve

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Rank-packing job scheduler (DESIGN.md §13).
+ *
+ * The daemon's simulated machine has a fixed number of DRAM ranks; each
+ * job's plan is built for a subset of them. Every scheduling round the
+ * scheduler selects which runnable jobs occupy ranks for the next cycle
+ * slice:
+ *
+ *  - Fair (default): preemptive round-robin. The scan origin rotates
+ *    each round, jobs that don't fit are skipped, and nothing holds
+ *    ranks between rounds — a long SpGEMM advances one slice at a time
+ *    and cannot starve queued SpMVs (resumable kernels make the
+ *    preemption free).
+ *  - Fifo: non-preemptive run-to-completion in strict submission
+ *    order. A started job holds its ranks until it finishes, and the
+ *    queue head blocks everything behind it. This is the baseline the
+ *    serve benchmark contrasts against.
+ */
+
+#ifndef MENDA_SERVE_SCHEDULER_HH
+#define MENDA_SERVE_SCHEDULER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace menda::serve
+{
+
+enum class SchedPolicy : std::uint8_t
+{
+    Fair,
+    Fifo,
+};
+
+const char *schedPolicyName(SchedPolicy policy);
+
+/** Parse "fair" | "fifo"; throws std::runtime_error otherwise. */
+SchedPolicy parseSchedPolicy(const std::string &name);
+
+class RankScheduler
+{
+  public:
+    RankScheduler(unsigned machine_ranks, SchedPolicy policy)
+        : machineRanks_(machine_ranks), policy_(policy)
+    {}
+
+    struct Runnable
+    {
+        std::uint64_t id = 0;
+        unsigned ranks = 0; ///< ranks the job occupies while scheduled
+    };
+
+    /**
+     * Pick the jobs that run this round. @p runnable must be in
+     * submission order and contain every queued or started-but-
+     * unfinished job. Deterministic.
+     */
+    std::vector<std::uint64_t> pick(const std::vector<Runnable> &runnable);
+
+    /** Release a finished (or cancelled) job's rank hold. */
+    void finished(std::uint64_t id);
+
+    SchedPolicy policy() const { return policy_; }
+    unsigned machineRanks() const { return machineRanks_; }
+
+  private:
+    unsigned machineRanks_;
+    SchedPolicy policy_;
+    std::vector<std::uint64_t> held_; ///< Fifo: running, holding ranks
+    std::uint64_t rotate_ = 0;        ///< Fair: scan origin
+};
+
+} // namespace menda::serve
+
+#endif // MENDA_SERVE_SCHEDULER_HH

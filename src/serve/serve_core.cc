@@ -1,0 +1,601 @@
+#include "serve/serve_core.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/log.hh"
+#include "menda/run_report.hh"
+#include "menda/sim_mode.hh"
+
+namespace menda::serve
+{
+
+namespace json = obs::json;
+
+namespace
+{
+
+const char *
+kernelName(core::KernelJob::Kind kind)
+{
+    switch (kind) {
+      case core::KernelJob::Kind::Transpose: return "transpose";
+      case core::KernelJob::Kind::Spmv: return "spmv";
+      case core::KernelJob::Kind::Spgemm: return "spgemm";
+    }
+    return "?";
+}
+
+/** Nearest-rank percentile of an unsorted sample vector. */
+std::uint64_t
+percentile(std::vector<std::uint64_t> samples, double pct)
+{
+    if (samples.empty())
+        return 0;
+    std::sort(samples.begin(), samples.end());
+    const double n = static_cast<double>(samples.size());
+    std::size_t rank =
+        static_cast<std::size_t>(std::ceil(pct / 100.0 * n));
+    if (rank == 0)
+        rank = 1;
+    if (rank > samples.size())
+        rank = samples.size();
+    return samples[rank - 1];
+}
+
+json::Value
+latencySummary(const std::vector<std::uint64_t> &samples)
+{
+    json::Object o;
+    std::uint64_t sum = 0, max = 0;
+    for (std::uint64_t s : samples) {
+        sum += s;
+        max = std::max(max, s);
+    }
+    o["count"] = json::Value(std::uint64_t(samples.size()));
+    o["mean"] = json::Value(
+        samples.empty() ? 0.0
+                        : static_cast<double>(sum) / samples.size());
+    o["max"] = json::Value(max);
+    o["p50"] = json::Value(percentile(samples, 50.0));
+    o["p95"] = json::Value(percentile(samples, 95.0));
+    o["p99"] = json::Value(percentile(samples, 99.0));
+    return json::Value(std::move(o));
+}
+
+} // namespace
+
+const char *
+jobStateName(JobState state)
+{
+    switch (state) {
+      case JobState::Queued: return "queued";
+      case JobState::Running: return "running";
+      case JobState::Done: return "done";
+      case JobState::Failed: return "failed";
+      case JobState::Cancelled: return "cancelled";
+    }
+    return "?";
+}
+
+ServeCore::ServeCore(const ServeConfig &config)
+    : config_(config), cache_(config.cacheBudgetBytes),
+      scheduler_(config.system.totalPus(), config.policy)
+{
+    menda_assert(config_.system.totalPus() > 0, "machine needs ranks");
+    menda_assert(config_.sliceCycles > 0, "sliceCycles must be > 0");
+}
+
+ServeCore::~ServeCore() = default;
+
+json::Value
+ServeCore::handle(const json::Value &request, std::uint64_t owner)
+{
+    if (!request.isObject())
+        return errorResponse("badRequest", "request must be an object");
+    if (request.has("schema") &&
+        request.at("schema").asString() != kSchema)
+        return errorResponse("badRequest",
+                             "unsupported schema: " +
+                                 request.at("schema").asString());
+    if (!request.has("type") || !request.at("type").isString())
+        return errorResponse("badRequest", "missing request type");
+    const std::string &type = request.at("type").asString();
+
+    if (type == "submit")
+        return handleSubmit(request, owner);
+    if (type == "status")
+        return handleStatus(request);
+    if (type == "stats")
+        return statsJson();
+    if (type == "shutdown") {
+        shutdown_ = true;
+        json::Object o;
+        o["type"] = json::Value("shuttingDown");
+        return json::Value(std::move(o));
+    }
+    return errorResponse("badRequest", "unknown request type: " + type);
+}
+
+json::Value
+ServeCore::handleSubmit(const json::Value &request, std::uint64_t owner)
+{
+    // Cheap admission checks first; matrix decoding (the expensive part)
+    // only happens for requests that would actually be admitted.
+    std::string tenant = "default";
+    if (request.has("tenant")) {
+        if (!request.at("tenant").isString())
+            return errorResponse("badRequest", "tenant must be a string");
+        tenant = request.at("tenant").asString();
+    }
+    if (!request.has("kernel") || !request.at("kernel").isString())
+        return errorResponse("badRequest", "missing kernel");
+    const std::string &kernel = request.at("kernel").asString();
+
+    if (queuedCount() >= config_.queueDepth) {
+        ++rejectedTotal_;
+        ++tenants_[tenant].rejected;
+        return errorResponse("queueFull",
+                             "queue depth " +
+                                 std::to_string(config_.queueDepth) +
+                                 " reached; retry later");
+    }
+    if (inFlightOf(tenant) >= config_.tenantInFlight) {
+        ++rejectedTotal_;
+        ++tenants_[tenant].rejected;
+        return errorResponse(
+            "tenantBusy", "tenant '" + tenant + "' already has " +
+                              std::to_string(config_.tenantInFlight) +
+                              " jobs in flight");
+    }
+
+    Job job;
+    job.tenant = tenant;
+    job.owner = owner;
+
+    unsigned ranks = config_.ranksPerJob;
+    if (request.has("pus")) {
+        if (!request.at("pus").isNumber() ||
+            request.at("pus").asNumber() < 1)
+            return errorResponse("badRequest",
+                                 "pus must be a positive number");
+        ranks = static_cast<unsigned>(request.at("pus").asNumber());
+    }
+    job.ranks = std::min(ranks, scheduler_.machineRanks());
+    if (job.ranks == 0)
+        job.ranks = 1;
+
+    // The per-job machine: a rank subset of the shared pool. Fidelity
+    // and the ablation/sampling knobs come from the daemon's config;
+    // interleaved execution requires hostThreads == 1 per job (the
+    // daemon itself is the concurrency layer).
+    job.config = config_.system;
+    job.config.channels = 1;
+    job.config.dimmsPerChannel = 1;
+    job.config.ranksPerDimm = job.ranks;
+    job.config.hostThreads = 1;
+    job.config.progressEveryCycles = 0;
+    if (request.has("simMode")) {
+        if (!request.at("simMode").isString() ||
+            !core::parseSimMode(request.at("simMode").asString(),
+                                job.config.simMode, job.config.sampled))
+            return errorResponse("badRequest",
+                                 "bad simMode (want detailed | "
+                                 "functional | sampled[:W,P[,WARM]])");
+    }
+
+    const std::uint64_t hitsBefore = cache_.stats().hits;
+    try {
+        if (kernel == "transpose") {
+            job.kind = core::KernelJob::Kind::Transpose;
+            const sparse::CsrMatrix a = csrFromJson(request.at("a"));
+            job.inputNnz = a.nnz();
+            job.transposePlan = cache_.transposePlan(a, job.config);
+        } else if (kernel == "spmv") {
+            job.kind = core::KernelJob::Kind::Spmv;
+            const sparse::CsrMatrix a = csrFromJson(request.at("a"));
+            job.x = valueVectorFromJson(request.at("x"));
+            if (job.x.size() != a.cols)
+                throw std::runtime_error(
+                    "x has " + std::to_string(job.x.size()) +
+                    " entries; matrix has " + std::to_string(a.cols) +
+                    " columns");
+            job.inputNnz = a.nnz();
+            job.spmvPlan = cache_.spmvPlan(a, job.config);
+        } else if (kernel == "spgemm") {
+            job.kind = core::KernelJob::Kind::Spgemm;
+            const sparse::CsrMatrix a = csrFromJson(request.at("a"));
+            const sparse::CsrMatrix b = csrFromJson(request.at("b"));
+            if (a.cols != b.rows)
+                throw std::runtime_error(
+                    "dimension mismatch: a.cols != b.rows");
+            job.inputNnz = a.nnz();
+            job.spgemmPlan = cache_.spgemmPlan(a, b, job.config);
+        } else {
+            return errorResponse("badRequest",
+                                 "unknown kernel: " + kernel);
+        }
+    } catch (const std::exception &e) {
+        return errorResponse("badRequest", e.what());
+    }
+    job.cacheHit = cache_.stats().hits != hitsBefore;
+
+    job.id = nextJobId_++;
+    job.submitCycle = virtualCycle_;
+    const std::uint64_t id = job.id;
+    const bool cacheHit = job.cacheHit;
+    const unsigned jobRanks = job.ranks;
+    order_.push_back(job.id);
+    jobs_.emplace(job.id, std::move(job));
+
+    json::Object o;
+    o["type"] = json::Value("submitted");
+    o["id"] = json::Value(id);
+    o["cacheHit"] = json::Value(cacheHit);
+    o["ranks"] = json::Value(std::uint64_t(jobRanks));
+    return json::Value(std::move(o));
+}
+
+json::Value
+ServeCore::handleStatus(const json::Value &request) const
+{
+    if (!request.has("id") || !request.at("id").isNumber())
+        return errorResponse("badRequest", "missing job id");
+    return jobResponse(
+        static_cast<std::uint64_t>(request.at("id").asNumber()));
+}
+
+unsigned
+ServeCore::inFlightOf(const std::string &tenant) const
+{
+    unsigned n = 0;
+    for (std::uint64_t id : order_) {
+        const Job &job = jobs_.at(id);
+        if (job.tenant == tenant &&
+            (job.state == JobState::Queued ||
+             job.state == JobState::Running))
+            ++n;
+    }
+    return n;
+}
+
+std::size_t
+ServeCore::queuedCount() const
+{
+    std::size_t n = 0;
+    for (std::uint64_t id : order_)
+        if (jobs_.at(id).state == JobState::Queued)
+            ++n;
+    return n;
+}
+
+bool
+ServeCore::idle() const
+{
+    return order_.empty();
+}
+
+void
+ServeCore::pump()
+{
+    std::vector<RankScheduler::Runnable> runnable;
+    for (std::uint64_t id : order_) {
+        const Job &job = jobs_.at(id);
+        if (job.state == JobState::Queued ||
+            job.state == JobState::Running)
+            runnable.push_back({id, job.ranks});
+    }
+    if (runnable.empty())
+        return;
+
+    const Cycle roundStart = virtualCycle_;
+    const std::vector<std::uint64_t> picked = scheduler_.pick(runnable);
+    for (std::uint64_t id : picked) {
+        Job &job = jobs_.at(id);
+        try {
+            if (job.state == JobState::Queued) {
+                job.startCycle = roundStart;
+                dispatch(job);
+            }
+            advance(job);
+            const bool finished =
+                job.kernel ? (job.kernel->done() &&
+                              job.fastRemaining == 0)
+                           : false;
+            if (finished) {
+                job.doneCycle = roundStart + config_.sliceCycles;
+                complete(job);
+            }
+        } catch (const std::exception &e) {
+            job.error = e.what();
+            job.doneCycle = roundStart + config_.sliceCycles;
+            finishJob(job, JobState::Failed);
+        }
+    }
+    virtualCycle_ = roundStart + config_.sliceCycles;
+}
+
+void
+ServeCore::runUntilIdle()
+{
+    while (!idle())
+        pump();
+}
+
+void
+ServeCore::dispatch(Job &job)
+{
+    job.state = JobState::Running;
+    switch (job.kind) {
+      case core::KernelJob::Kind::Transpose:
+        job.kernel = std::make_unique<core::KernelJob>(
+            job.config, job.transposePlan);
+        break;
+      case core::KernelJob::Kind::Spmv:
+        job.kernel = std::make_unique<core::KernelJob>(
+            job.config, job.spmvPlan, job.x);
+        break;
+      case core::KernelJob::Kind::Spgemm:
+        job.kernel = std::make_unique<core::KernelJob>(
+            job.config, job.spgemmPlan);
+        break;
+    }
+    if (job.config.simMode != core::SimMode::Detailed) {
+        // Fast tiers: the semantics run up front (host cost is O(kernel)
+        // regardless), then the job occupies its ranks until the charged
+        // slices cover the tier's estimated PU cycles — so it contends
+        // for the machine in virtual time exactly like a detailed job.
+        job.kernel->runToCompletion();
+        job.fastExecuted = true;
+        job.fastRemaining = job.kernel->puCycles();
+    }
+}
+
+void
+ServeCore::advance(Job &job)
+{
+    if (job.fastExecuted) {
+        job.fastRemaining -= std::min(job.fastRemaining,
+                                      config_.sliceCycles);
+        return;
+    }
+    if (!job.kernel->done())
+        job.kernel->step(config_.sliceCycles);
+}
+
+void
+ServeCore::complete(Job &job)
+{
+    job.result = buildResult(job);
+    TenantStats &t = tenants_[job.tenant];
+    ++t.completed;
+    const std::uint64_t wait = job.startCycle - job.submitCycle;
+    const std::uint64_t total = job.doneCycle - job.submitCycle;
+    t.queueWait.push_back(wait);
+    t.total.push_back(total);
+    t.queueWaitHist.record(wait);
+    t.totalHist.record(total);
+    finishJob(job, JobState::Done);
+}
+
+void
+ServeCore::finishJob(Job &job, JobState state)
+{
+    job.state = state;
+    if (job.doneCycle == 0)
+        job.doneCycle = virtualCycle_;
+    if (state == JobState::Failed)
+        ++tenants_[job.tenant].failed;
+    job.kernel.reset(); // release the simulated components immediately
+    scheduler_.finished(job.id);
+    order_.erase(std::remove(order_.begin(), order_.end(), job.id),
+                 order_.end());
+    finished_.push_back(job.id);
+}
+
+json::Value
+ServeCore::buildResult(Job &job)
+{
+    json::Object o;
+    o["kernel"] = json::Value(kernelName(job.kind));
+    o["cacheHit"] = json::Value(job.cacheHit);
+    o["ranks"] = json::Value(std::uint64_t(job.ranks));
+    o["queueWaitCycles"] =
+        json::Value(job.startCycle - job.submitCycle);
+    o["totalCycles"] = json::Value(job.doneCycle - job.submitCycle);
+
+    // Report throughput against nnz(A), matching the direct-run
+    // convention (KernelJob::nnz() counts A+B for SpGEMM).
+    const std::uint64_t nnz = job.inputNnz;
+    switch (job.kind) {
+      case core::KernelJob::Kind::Transpose: {
+        core::TransposeResult r = job.kernel->takeTranspose();
+        o["csc"] = cscToJson(r.csc);
+        o["report"] = json::parse(
+            core::makeRunReport("menda.serve.job", "transpose",
+                                job.config, r, nnz)
+                .toJson());
+        break;
+      }
+      case core::KernelJob::Kind::Spmv: {
+        core::SpmvResult r = job.kernel->takeSpmv();
+        o["y"] = doubleVectorToJson(r.y);
+        o["report"] = json::parse(
+            core::makeRunReport("menda.serve.job", "spmv", job.config,
+                                r, nnz)
+                .toJson());
+        break;
+      }
+      case core::KernelJob::Kind::Spgemm: {
+        core::SpgemmResult r = job.kernel->takeSpgemm();
+        o["c"] = csrToJson(r.c);
+        o["partialProducts"] = json::Value(r.partialProducts);
+        o["report"] = json::parse(
+            core::makeRunReport("menda.serve.job", "spgemm",
+                                job.config, r, nnz)
+                .toJson());
+        break;
+      }
+    }
+    return json::Value(std::move(o));
+}
+
+std::vector<std::uint64_t>
+ServeCore::drainFinished()
+{
+    std::vector<std::uint64_t> out;
+    out.swap(finished_);
+    return out;
+}
+
+void
+ServeCore::cancelOwner(std::uint64_t owner)
+{
+    if (owner == 0)
+        return;
+    const std::vector<std::uint64_t> live = order_;
+    for (std::uint64_t id : live) {
+        Job &job = jobs_.at(id);
+        if (job.owner != owner)
+            continue;
+        job.error = "client disconnected";
+        finishJob(job, JobState::Cancelled);
+    }
+}
+
+json::Value
+ServeCore::jobResponse(std::uint64_t id) const
+{
+    auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return errorResponse("unknownJob",
+                             "no job with id " + std::to_string(id));
+    const Job &job = it->second;
+    json::Object o;
+    o["type"] = json::Value("jobStatus");
+    o["id"] = json::Value(id);
+    o["state"] = json::Value(jobStateName(job.state));
+    o["tenant"] = json::Value(job.tenant);
+    if (job.state == JobState::Done && job.result.isObject())
+        for (const auto &[key, value] : job.result.asObject())
+            o[key] = value;
+    if (!job.error.empty())
+        o["error"] = json::Value(job.error);
+    return json::Value(std::move(o));
+}
+
+json::Value
+ServeCore::statsJson() const
+{
+    json::Object o;
+    o["type"] = json::Value("stats");
+    o["schema"] = json::Value(kSchema);
+    o["policy"] = json::Value(schedPolicyName(scheduler_.policy()));
+    o["machineRanks"] =
+        json::Value(std::uint64_t(scheduler_.machineRanks()));
+    o["virtualCycle"] = json::Value(virtualCycle_);
+    o["sliceCycles"] = json::Value(config_.sliceCycles);
+
+    std::uint64_t queued = 0, running = 0;
+    for (std::uint64_t id : order_) {
+        const Job &job = jobs_.at(id);
+        if (job.state == JobState::Queued)
+            ++queued;
+        else if (job.state == JobState::Running)
+            ++running;
+    }
+    std::uint64_t completed = 0, failed = 0, cancelled = 0;
+    for (const auto &[id, job] : jobs_) {
+        if (job.state == JobState::Done)
+            ++completed;
+        else if (job.state == JobState::Failed)
+            ++failed;
+        else if (job.state == JobState::Cancelled)
+            ++cancelled;
+    }
+    json::Object jobs;
+    jobs["queued"] = json::Value(queued);
+    jobs["running"] = json::Value(running);
+    jobs["completed"] = json::Value(completed);
+    jobs["failed"] = json::Value(failed);
+    jobs["cancelled"] = json::Value(cancelled);
+    jobs["rejected"] = json::Value(rejectedTotal_);
+    o["jobs"] = json::Value(std::move(jobs));
+
+    const CacheStats &c = cache_.stats();
+    json::Object cache;
+    cache["hits"] = json::Value(c.hits);
+    cache["misses"] = json::Value(c.misses);
+    cache["evictions"] = json::Value(c.evictions);
+    cache["entries"] = json::Value(c.entries);
+    cache["residentBytes"] = json::Value(c.residentBytes);
+    cache["budgetBytes"] = json::Value(cache_.budgetBytes());
+    cache["hitRatePct"] = json::Value(c.hitRatePct());
+    o["cache"] = json::Value(std::move(cache));
+
+    json::Object tenants;
+    for (const auto &[name, t] : tenants_) {
+        json::Object to;
+        to["completed"] = json::Value(t.completed);
+        to["failed"] = json::Value(t.failed);
+        to["rejected"] = json::Value(t.rejected);
+        to["inFlight"] = json::Value(std::uint64_t(inFlightOf(name)));
+        to["queueWaitCycles"] = latencySummary(t.queueWait);
+        to["totalCycles"] = latencySummary(t.total);
+        tenants[name] = json::Value(std::move(to));
+    }
+    o["tenants"] = json::Value(std::move(tenants));
+    return json::Value(std::move(o));
+}
+
+obs::RunReport
+ServeCore::metricsReport() const
+{
+    obs::RunReport report("menda.serve.metrics");
+    report.setMeta("schema", kSchema);
+    report.setMeta("policy", schedPolicyName(scheduler_.policy()));
+    report.setMetric("machineRanks", scheduler_.machineRanks());
+    report.setMetric("virtualCycle",
+                     static_cast<double>(virtualCycle_));
+
+    std::uint64_t completed = 0, failed = 0, cancelled = 0;
+    for (const auto &[id, job] : jobs_) {
+        if (job.state == JobState::Done)
+            ++completed;
+        else if (job.state == JobState::Failed)
+            ++failed;
+        else if (job.state == JobState::Cancelled)
+            ++cancelled;
+    }
+    report.setMetric("jobsCompleted", static_cast<double>(completed));
+    report.setMetric("jobsFailed", static_cast<double>(failed));
+    report.setMetric("jobsCancelled", static_cast<double>(cancelled));
+    report.setMetric("jobsRejected",
+                     static_cast<double>(rejectedTotal_));
+
+    const CacheStats &c = cache_.stats();
+    report.setMetric("cacheHits", static_cast<double>(c.hits));
+    report.setMetric("cacheMisses", static_cast<double>(c.misses));
+    report.setMetric("cacheEvictions",
+                     static_cast<double>(c.evictions));
+    report.setMetric("cacheHitRatePct", c.hitRatePct());
+    report.setMetric("cacheResidentBytes",
+                     static_cast<double>(c.residentBytes));
+
+    for (const auto &[name, t] : tenants_) {
+        const std::string prefix = "tenant." + name + ".";
+        report.setMetric(prefix + "completed",
+                         static_cast<double>(t.completed));
+        report.setMetric(prefix + "queueWaitP95",
+                         static_cast<double>(
+                             percentile(t.queueWait, 95.0)));
+        report.setMetric(prefix + "totalP95",
+                         static_cast<double>(percentile(t.total, 95.0)));
+        report.addHistogram(prefix + "queueWait", t.queueWaitHist);
+        report.addHistogram(prefix + "total", t.totalHist);
+    }
+    return report;
+}
+
+} // namespace menda::serve

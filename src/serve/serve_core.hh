@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The daemon's brain: job table, admission control, scheduling loop,
+ * per-tenant SLO metrics (DESIGN.md §13). Transport-agnostic — the
+ * socket server feeds it parsed `menda.job/1` requests, and the
+ * conformance harness drives it in-process through the same entry
+ * point.
+ *
+ * Execution model: one virtual machine clock (PU-cycle domain). Every
+ * pump() is one scheduling round — the rank scheduler picks which
+ * runnable jobs occupy ranks, each picked job advances by one bounded
+ * cycle slice (KernelJob::step), and the virtual clock advances by the
+ * slice. Queue-wait and completion latencies are measured on this
+ * clock, so latency metrics are deterministic for a deterministic
+ * request stream and independent of host speed.
+ *
+ * Fast-tier jobs (functional/sampled) execute their semantics at
+ * dispatch (host time is O(kernel) anyway) and then occupy their ranks
+ * until the charged slices cover the tier's estimated PU cycles — so a
+ * functional job contends for the machine in virtual time exactly like
+ * a detailed one, while staying cheap to simulate.
+ */
+
+#ifndef MENDA_SERVE_SERVE_CORE_HH
+#define MENDA_SERVE_SERVE_CORE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "menda/job.hh"
+#include "obs/report.hh"
+#include "serve/protocol.hh"
+#include "serve/residency_cache.hh"
+#include "serve/scheduler.hh"
+
+namespace menda::serve
+{
+
+struct ServeConfig
+{
+    /** Shape of the shared simulated machine; totalPus() = rank pool. */
+    core::SystemConfig system;
+
+    /** Default ranks a job occupies (request "pus" may override; both
+     *  are clamped to the machine). */
+    unsigned ranksPerJob = 4;
+
+    /** Max jobs waiting (excludes running); admission rejects beyond. */
+    std::size_t queueDepth = 64;
+
+    /** Max queued+running jobs per tenant. */
+    unsigned tenantInFlight = 4;
+
+    /** PU cycles granted per job per scheduling round. */
+    Cycle sliceCycles = 20'000;
+
+    /** Residency-cache budget, simulated bytes. */
+    std::uint64_t cacheBudgetBytes = 256ull << 20;
+
+    SchedPolicy policy = SchedPolicy::Fair;
+};
+
+enum class JobState : std::uint8_t
+{
+    Queued,
+    Running,
+    Done,
+    Failed,
+    Cancelled,
+};
+
+const char *jobStateName(JobState state);
+
+class ServeCore
+{
+  public:
+    explicit ServeCore(const ServeConfig &config);
+    ~ServeCore();
+
+    /**
+     * Handle one parsed request; returns the response. @p owner tags
+     * submitted jobs with the connection they came from so a mid-job
+     * disconnect can cancel them (0 = unowned, never auto-cancelled).
+     * Never throws on bad input — malformed requests get a typed
+     * "error" response.
+     */
+    obs::json::Value handle(const obs::json::Value &request,
+                            std::uint64_t owner = 0);
+
+    /** One scheduling round; no-op when nothing is runnable. */
+    void pump();
+
+    /** pump() until no job is queued or running. */
+    void runUntilIdle();
+
+    bool idle() const;
+    bool shutdownRequested() const { return shutdown_; }
+
+    /** Job ids that reached a terminal state since the last drain. */
+    std::vector<std::uint64_t> drainFinished();
+
+    /** Cancel every non-terminal job submitted by @p owner. */
+    void cancelOwner(std::uint64_t owner);
+
+    /** The "jobStatus" response for @p id (results when terminal). */
+    obs::json::Value jobResponse(std::uint64_t id) const;
+
+    /** The "stats" response body. */
+    obs::json::Value statsJson() const;
+
+    /** Metrics snapshot as a menda.runReport/1 (CI artifact). */
+    obs::RunReport metricsReport() const;
+
+    const ServeConfig &config() const { return config_; }
+    const CacheStats &cacheStats() const { return cache_.stats(); }
+    Cycle virtualCycle() const { return virtualCycle_; }
+
+  private:
+    struct Job
+    {
+        std::uint64_t id = 0;
+        std::string tenant;
+        std::uint64_t owner = 0;
+        core::KernelJob::Kind kind = core::KernelJob::Kind::Transpose;
+        core::SystemConfig config; ///< per-job (rank subset of machine)
+        unsigned ranks = 0;
+        bool cacheHit = false;
+        std::uint64_t inputNnz = 0; ///< nnz(A): report throughput basis
+
+        std::shared_ptr<const core::TransposePlan> transposePlan;
+        std::shared_ptr<const core::SpmvPlan> spmvPlan;
+        std::shared_ptr<const core::SpgemmPlan> spgemmPlan;
+        std::vector<Value> x;
+
+        std::unique_ptr<core::KernelJob> kernel; ///< built at dispatch
+        Cycle fastRemaining = 0; ///< fast tiers: cycles still charged
+        bool fastExecuted = false;
+
+        JobState state = JobState::Queued;
+        Cycle submitCycle = 0, startCycle = 0, doneCycle = 0;
+
+        obs::json::Value result; ///< outputs + report once Done
+        std::string error;      ///< reason once Failed
+    };
+
+    struct TenantStats
+    {
+        std::uint64_t completed = 0;
+        std::uint64_t failed = 0;
+        std::uint64_t rejected = 0;
+        std::vector<std::uint64_t> queueWait; ///< cycles, per job
+        std::vector<std::uint64_t> total;     ///< queue-to-completion
+        Histogram queueWaitHist;
+        Histogram totalHist;
+    };
+
+    obs::json::Value handleSubmit(const obs::json::Value &request,
+                                  std::uint64_t owner);
+    obs::json::Value handleStatus(const obs::json::Value &request) const;
+
+    unsigned inFlightOf(const std::string &tenant) const;
+    std::size_t queuedCount() const;
+    void dispatch(Job &job);      ///< Queued -> Running (build kernel)
+    void advance(Job &job);       ///< one slice of progress
+    void complete(Job &job);      ///< Running -> Done (build result)
+    void finishJob(Job &job, JobState state);
+    obs::json::Value buildResult(Job &job);
+
+    ServeConfig config_;
+    ResidencyCache cache_;
+    RankScheduler scheduler_;
+    Cycle virtualCycle_ = 0;
+    std::uint64_t nextJobId_ = 1;
+    std::map<std::uint64_t, Job> jobs_;
+    std::vector<std::uint64_t> order_;    ///< submission order (live)
+    std::vector<std::uint64_t> finished_; ///< for drainFinished()
+    std::map<std::string, TenantStats> tenants_;
+    std::uint64_t rejectedTotal_ = 0;
+    bool shutdown_ = false;
+};
+
+} // namespace menda::serve
+
+#endif // MENDA_SERVE_SERVE_CORE_HH

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Socket transport for menda_serve: a single-threaded poll loop that
+ * feeds framed `menda.job/1` requests into a ServeCore and pumps the
+ * simulation between I/O rounds (DESIGN.md §13).
+ *
+ * Listens on a Unix-domain socket (default) or loopback TCP. Each
+ * connection gets its own FrameReader and an owner token; jobs
+ * submitted with "wait": true defer their response until the job is
+ * terminal, and a mid-job disconnect cleanly cancels every job the
+ * connection owned. One thread does everything — the simulated machine
+ * is the concurrency layer, not the host.
+ *
+ * The blocking Client mirrors the framing for tools and tests; sendRaw
+ * exists so robustness tests can inject truncated or oversized frames.
+ */
+
+#ifndef MENDA_SERVE_SOCKET_SERVER_HH
+#define MENDA_SERVE_SOCKET_SERVER_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hh"
+#include "serve/serve_core.hh"
+
+namespace menda::serve
+{
+
+struct ServerOptions
+{
+    /** Non-empty: listen on this Unix socket path (unlinked on exit). */
+    std::string unixPath;
+
+    /** TCP fallback when unixPath is empty; port 0 picks an ephemeral
+     *  port (read it back via port()). Loopback only. */
+    std::string host = "127.0.0.1";
+    int port = 0;
+
+    std::uint32_t maxFrameBytes = kDefaultMaxFrameBytes;
+};
+
+class SocketServer
+{
+  public:
+    /** Binds and listens; throws std::runtime_error on failure. */
+    SocketServer(ServeCore &core, const ServerOptions &options);
+    ~SocketServer();
+
+    SocketServer(const SocketServer &) = delete;
+    SocketServer &operator=(const SocketServer &) = delete;
+
+    /** Actual TCP port (0 for Unix sockets). */
+    int port() const { return port_; }
+
+    /** "unix:<path>" or "tcp:<host>:<port>" (log lines, tests). */
+    const std::string &endpoint() const { return endpoint_; }
+
+    /**
+     * Serve until a "shutdown" request has been handled AND every job
+     * is terminal AND every response has been flushed.
+     */
+    void run();
+
+    /** One I/O + simulation round (run() is a loop over this). */
+    void iterate(int timeout_ms);
+
+    bool shouldStop() const;
+
+  private:
+    struct Conn
+    {
+        int fd = -1;
+        std::uint64_t owner = 0;
+        FrameReader reader;
+        std::string outbuf;
+        bool closing = false; ///< close once outbuf drains
+    };
+
+    void acceptPending();
+    void readConn(Conn &conn);
+    void handlePayload(Conn &conn, const std::string &payload);
+    void flushConn(Conn &conn);
+    void deliverFinished();
+    void reapConns();
+
+    ServeCore &core_;
+    ServerOptions options_;
+    int listenFd_ = -1;
+    int port_ = 0;
+    std::string endpoint_;
+    std::uint64_t nextOwner_ = 1;
+    std::vector<std::unique_ptr<Conn>> conns_;
+    std::map<std::uint64_t, std::uint64_t> waiters_; ///< job -> owner
+};
+
+/** Blocking client for tools and tests. */
+class Client
+{
+  public:
+    static Client connectUnix(const std::string &path);
+    static Client connectTcp(const std::string &host, int port);
+    ~Client();
+
+    Client(Client &&other) noexcept;
+    Client &operator=(Client &&other) noexcept;
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** send() + recv(): one request/response round trip. */
+    obs::json::Value call(const obs::json::Value &request);
+
+    void send(const obs::json::Value &request);
+
+    /** Block until one complete response frame arrives; throws on EOF
+     *  or a malformed frame. */
+    obs::json::Value recv();
+
+    /** Write raw bytes (robustness tests: truncated/oversized frames). */
+    void sendRaw(const std::string &bytes);
+
+    /** Close immediately (mid-job disconnect tests). */
+    void closeNow();
+
+    bool connected() const { return fd_ >= 0; }
+
+  private:
+    explicit Client(int fd) : fd_(fd) {}
+
+    int fd_ = -1;
+    FrameReader reader_;
+};
+
+} // namespace menda::serve
+
+#endif // MENDA_SERVE_SOCKET_SERVER_HH

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
+#include "baselines/spgemm_cpu.hh"
 #include "menda/host_api.hh"
 #include "sparse/generate.hh"
 
@@ -151,4 +154,97 @@ TEST(HostApi, MmioAddressesAreDistinctPerRegion)
     ctx.transpose(g);
     ctx.wait();
     EXPECT_NE(ctx.mmio(0).outPtrAddr, ctx.mmio(0).outIdxAddr);
+}
+
+TEST(HostApiMultiUse, ThreeBackToBackKernelsOnOneSystem)
+{
+    // Regression: the system and context used to assume one kernel per
+    // process. Three different kernels back to back on one instance
+    // must each produce the reference result.
+    sparse::CsrMatrix a = sparse::generateUniform(256, 256, 3000, 89);
+    sparse::CsrMatrix b = sparse::generateUniform(256, 256, 2500, 91);
+    std::vector<Value> x(a.cols, 0.25f);
+    nmp::Context ctx(apiConfig());
+    nmp::MatrixHandle g = ctx.allocSparseMatrix(a);
+
+    ctx.transpose(g);
+    ctx.wait();
+    EXPECT_EQ(ctx.result(g).ptr, sparse::transposeReference(a).ptr);
+
+    ctx.spmv(g, x);
+    ctx.wait();
+    auto want = sparse::spmvReference(a, x);
+    ASSERT_EQ(ctx.vectorResult().size(), want.size());
+    for (std::size_t r = 0; r < want.size(); ++r)
+        EXPECT_NEAR(ctx.vectorResult()[r], want[r],
+                    1e-3 * (std::abs(want[r]) + 1.0));
+
+    ctx.spgemm(g, b);
+    ctx.wait();
+    auto c_want = baselines::spgemmHeapMerge(a, b);
+    EXPECT_EQ(ctx.productResult().ptr, c_want.ptr);
+    EXPECT_EQ(ctx.productResult().idx, c_want.idx);
+}
+
+TEST(HostApiMultiUse, SecondAllocationDoesNotAliasTheFirst)
+{
+    // Regression: allocSparseMatrix used to lay every matrix out at
+    // rank-local base 0 and virtual page 0, so a second live matrix
+    // overlapped the first's pages and MMIO-published addresses.
+    sparse::CsrMatrix a = sparse::generateUniform(512, 512, 8000, 93);
+    sparse::CsrMatrix b = sparse::generateUniform(512, 512, 6000, 95);
+    nmp::Context ctx(apiConfig());
+    nmp::MatrixHandle ga = ctx.allocSparseMatrix(a);
+    nmp::MatrixHandle gb = ctx.allocSparseMatrix(b);
+
+    // Disjoint colored page tables.
+    std::set<Addr> pages_a;
+    for (const auto &entry : ga.pageTable().entries)
+        pages_a.insert(entry.virtualPage);
+    for (const auto &entry : gb.pageTable().entries)
+        EXPECT_EQ(pages_a.count(entry.virtualPage), 0u)
+            << "page " << entry.virtualPage << " allocated twice";
+
+    // Disjoint rank-local physical spans.
+    for (unsigned r = 0; r < ctx.ranks(); ++r) {
+        EXPECT_NE(ga.memoryMap(r).base(core::Region::RowPtr),
+                  gb.memoryMap(r).base(core::Region::RowPtr));
+        EXPECT_LE(ga.memoryMap(r).end(),
+                  gb.memoryMap(r).base(core::Region::RowPtr) + 1);
+    }
+
+    // Both handles still transpose correctly against their own data.
+    ctx.transpose(ga);
+    ctx.wait();
+    EXPECT_EQ(ctx.result(ga).ptr, sparse::transposeReference(a).ptr);
+    ctx.transpose(gb);
+    ctx.wait();
+    EXPECT_EQ(ctx.result(gb).ptr, sparse::transposeReference(b).ptr);
+}
+
+TEST(HostApiMultiUse, FreeReclaimsSpaceWithoutLeaking)
+{
+    sparse::CsrMatrix a = sparse::generateUniform(512, 512, 8000, 97);
+    nmp::Context ctx(apiConfig());
+
+    nmp::MatrixHandle g1 = ctx.allocSparseMatrix(a);
+    const Addr high_water = ctx.rankHighWater(0);
+    EXPECT_GT(ctx.rankLiveBytes(0), 0u);
+
+    ctx.free(g1);
+    EXPECT_FALSE(g1.alive());
+    EXPECT_EQ(ctx.rankLiveBytes(0), 0u);
+
+    // Alloc/free cycles reuse the freed spans: the simulated heap's
+    // high-water mark must not grow.
+    for (int i = 0; i < 8; ++i) {
+        nmp::MatrixHandle g = ctx.allocSparseMatrix(a);
+        EXPECT_EQ(g.memoryMap(0).base(core::Region::RowPtr),
+                  g1.memoryMap(0).base(core::Region::RowPtr));
+        EXPECT_EQ(g.pageBase(), g1.pageBase());
+        ctx.free(g);
+    }
+    EXPECT_EQ(ctx.rankHighWater(0), high_water);
+
+    EXPECT_THROW(ctx.free(g1), std::runtime_error) << "double free";
 }

@@ -1,0 +1,555 @@
+/**
+ * @file
+ * menda_serve robustness and behavior tests (DESIGN.md §13).
+ *
+ * Covers the wire framing (truncated and oversized frames, malformed
+ * JSON), admission control (queue-full and per-tenant rejection with
+ * typed error codes), the residency cache (hits are bitwise-identical,
+ * evictions keep results correct), scheduler policy (fair preemption vs
+ * FIFO head-of-line blocking on the virtual clock), mid-job client
+ * disconnects, and determinism of the served latency metrics. Socket
+ * tests drive a real SocketServer on a Unix socket from a second
+ * thread; everything else exercises ServeCore in-process.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/spgemm_cpu.hh"
+#include "obs/json.hh"
+#include "serve/protocol.hh"
+#include "serve/serve_core.hh"
+#include "serve/socket_server.hh"
+#include "sparse/format.hh"
+#include "sparse/generate.hh"
+
+namespace
+{
+
+using namespace menda;
+namespace json = obs::json;
+using serve::FrameReader;
+using serve::ServeConfig;
+using serve::ServeCore;
+
+/** A small machine: @p ranks ranks on one DIMM, detailed fidelity. */
+ServeConfig
+smallConfig(unsigned ranks)
+{
+    ServeConfig config;
+    config.system.channels = 1;
+    config.system.dimmsPerChannel = 1;
+    config.system.ranksPerDimm = ranks;
+    config.system.hostThreads = 1;
+    config.system.progressEveryCycles = 0;
+    config.ranksPerJob = 1;
+    config.sliceCycles = 2'000;
+    return config;
+}
+
+json::Value
+submitRequest(const std::string &kernel, const sparse::CsrMatrix &a,
+              const std::string &tenant = "t0", unsigned pus = 1)
+{
+    json::Object o;
+    o["schema"] = json::Value(serve::kSchema);
+    o["type"] = json::Value("submit");
+    o["tenant"] = json::Value(tenant);
+    o["kernel"] = json::Value(kernel);
+    o["pus"] = json::Value(std::uint64_t(pus));
+    o["a"] = serve::csrToJson(a);
+    if (kernel == "spmv") {
+        std::vector<Value> x(a.cols);
+        for (std::size_t i = 0; i < x.size(); ++i)
+            x[i] = static_cast<Value>((i % 13) + 1) / 4.0f;
+        o["x"] = serve::valueVectorToJson(x);
+    }
+    if (kernel == "spgemm")
+        o["b"] = serve::csrToJson(
+            sparse::generateUniform(a.cols, a.rows, a.nnz() / 2, 99));
+    return json::Value(std::move(o));
+}
+
+/** Copy @p request with @p key set to @p value (Value is immutable). */
+json::Value
+withField(const json::Value &request, const std::string &key,
+          json::Value value)
+{
+    json::Object o = request.asObject();
+    o[key] = std::move(value);
+    return json::Value(std::move(o));
+}
+
+json::Value
+statusRequest(std::uint64_t id)
+{
+    json::Object o;
+    o["type"] = json::Value("status");
+    o["id"] = json::Value(id);
+    return json::Value(std::move(o));
+}
+
+std::string
+errorCode(const json::Value &response)
+{
+    std::string code;
+    EXPECT_TRUE(serve::isError(response, &code));
+    return code;
+}
+
+std::uint64_t
+submittedId(const json::Value &response)
+{
+    EXPECT_EQ(response.at("type").asString(), "submitted")
+        << response.serialize();
+    return static_cast<std::uint64_t>(response.at("id").asNumber());
+}
+
+// --- framing -----------------------------------------------------------
+
+TEST(FrameReader, TwoFramesInOneFeed)
+{
+    const std::string wire =
+        serve::encodeFrame("alpha") + serve::encodeFrame("beta");
+    FrameReader reader;
+    reader.feed(wire.data(), wire.size());
+
+    std::string payload, error;
+    ASSERT_EQ(reader.next(&payload, &error), FrameReader::Status::Frame);
+    EXPECT_EQ(payload, "alpha");
+    ASSERT_EQ(reader.next(&payload, &error), FrameReader::Status::Frame);
+    EXPECT_EQ(payload, "beta");
+    EXPECT_EQ(reader.next(&payload, &error),
+              FrameReader::Status::NeedMore);
+    EXPECT_EQ(reader.pendingBytes(), 0u);
+}
+
+TEST(FrameReader, TruncatedFrameNeedsMore)
+{
+    const std::string wire = serve::encodeFrame("payload-body");
+    FrameReader reader;
+    // Header claims 12 bytes; only half the frame has arrived.
+    reader.feed(wire.data(), 6);
+
+    std::string payload, error;
+    EXPECT_EQ(reader.next(&payload, &error),
+              FrameReader::Status::NeedMore);
+    EXPECT_GT(reader.pendingBytes(), 0u);
+
+    reader.feed(wire.data() + 6, wire.size() - 6);
+    ASSERT_EQ(reader.next(&payload, &error), FrameReader::Status::Frame);
+    EXPECT_EQ(payload, "payload-body");
+}
+
+TEST(FrameReader, OversizedFramePoisonsStream)
+{
+    FrameReader reader(16);
+    const std::string wire = serve::encodeFrame(std::string(64, 'x'));
+    reader.feed(wire.data(), wire.size());
+
+    std::string payload, error;
+    EXPECT_EQ(reader.next(&payload, &error), FrameReader::Status::Error);
+    EXPECT_FALSE(error.empty());
+
+    // Sticky: even a well-formed follow-up frame must not decode.
+    const std::string ok = serve::encodeFrame("ok");
+    reader.feed(ok.data(), ok.size());
+    EXPECT_EQ(reader.next(&payload, &error), FrameReader::Status::Error);
+}
+
+TEST(Protocol, CsrRoundTripIsExact)
+{
+    const sparse::CsrMatrix a = sparse::generateUniform(17, 23, 91, 7);
+    const sparse::CsrMatrix back = serve::csrFromJson(serve::csrToJson(a));
+    EXPECT_TRUE(a == back);
+}
+
+// --- admission control -------------------------------------------------
+
+TEST(Admission, MalformedRequestsGetTypedErrors)
+{
+    ServeCore core(smallConfig(2));
+
+    EXPECT_EQ(errorCode(core.handle(json::parse("[1,2]"))), "badRequest");
+    EXPECT_EQ(errorCode(core.handle(json::parse(
+                  "{\"schema\":\"other/9\",\"type\":\"stats\"}"))),
+              "badRequest");
+    EXPECT_EQ(errorCode(core.handle(json::parse("{\"type\":\"nope\"}"))),
+              "badRequest");
+    EXPECT_EQ(errorCode(core.handle(json::parse(
+                  "{\"type\":\"submit\",\"kernel\":\"lu\"}"))),
+              "badRequest");
+    EXPECT_EQ(errorCode(core.handle(statusRequest(404))), "unknownJob");
+
+    // SpMV with a mis-sized x vector must bounce, not throw.
+    std::vector<Value> shortX(3, 1.0f);
+    const json::Value bad = withField(
+        submitRequest("spmv", sparse::generateUniform(8, 8, 16, 1)),
+        "x", serve::valueVectorToJson(shortX));
+    EXPECT_EQ(errorCode(core.handle(bad)), "badRequest");
+
+    EXPECT_TRUE(core.idle()); // nothing was admitted
+}
+
+TEST(Admission, QueueFullRejectsWithReason)
+{
+    ServeConfig config = smallConfig(1);
+    config.queueDepth = 2;
+    config.tenantInFlight = 100;
+    ServeCore core(config);
+
+    const sparse::CsrMatrix a = sparse::generateUniform(12, 12, 40, 3);
+    submittedId(core.handle(submitRequest("transpose", a, "t0")));
+    submittedId(core.handle(submitRequest("transpose", a, "t1")));
+    const json::Value third =
+        core.handle(submitRequest("transpose", a, "t2"));
+    EXPECT_EQ(errorCode(third), "queueFull");
+
+    const json::Value stats = core.handle(json::parse(
+        "{\"type\":\"stats\"}"));
+    EXPECT_EQ(stats.at("jobs").at("rejected").asNumber(), 1.0);
+    core.runUntilIdle();
+}
+
+TEST(Admission, TenantCapIsPerTenant)
+{
+    ServeConfig config = smallConfig(1);
+    config.tenantInFlight = 2;
+    ServeCore core(config);
+
+    const sparse::CsrMatrix a = sparse::generateUniform(12, 12, 40, 3);
+    submittedId(core.handle(submitRequest("transpose", a, "hog")));
+    submittedId(core.handle(submitRequest("transpose", a, "hog")));
+    EXPECT_EQ(errorCode(core.handle(submitRequest("transpose", a, "hog"))),
+              "tenantBusy");
+    // Another tenant is unaffected by the hog's cap.
+    submittedId(core.handle(submitRequest("transpose", a, "polite")));
+    core.runUntilIdle();
+}
+
+// --- residency cache ---------------------------------------------------
+
+TEST(Cache, RepeatHitIsBitwiseIdentical)
+{
+    ServeCore core(smallConfig(2));
+    const sparse::CsrMatrix a = sparse::generateUniform(24, 20, 120, 11);
+
+    const json::Value first = core.handle(submitRequest("transpose", a));
+    const std::uint64_t id1 = submittedId(first);
+    EXPECT_FALSE(first.at("cacheHit").asBool());
+    core.runUntilIdle();
+
+    const json::Value second = core.handle(submitRequest("transpose", a));
+    const std::uint64_t id2 = submittedId(second);
+    EXPECT_TRUE(second.at("cacheHit").asBool());
+    core.runUntilIdle();
+
+    const json::Value r1 = core.jobResponse(id1);
+    const json::Value r2 = core.jobResponse(id2);
+    EXPECT_EQ(r1.at("state").asString(), "done");
+    EXPECT_EQ(r1.at("csc").serialize(), r2.at("csc").serialize());
+
+    EXPECT_EQ(core.cacheStats().hits, 1u);
+    EXPECT_EQ(core.cacheStats().misses, 1u);
+
+    // And the output is the true transpose.
+    const sparse::CscMatrix got = serve::cscFromJson(r1.at("csc"));
+    EXPECT_TRUE(got == sparse::transposeReference(a));
+}
+
+TEST(Cache, TinyBudgetEvictsButStaysCorrect)
+{
+    ServeConfig config = smallConfig(2);
+    config.cacheBudgetBytes = 1; // nothing fits; every plan evicts
+    ServeCore core(config);
+
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+        const sparse::CsrMatrix a =
+            sparse::generateUniform(16, 16, 64, 100 + seed);
+        const std::uint64_t id =
+            submittedId(core.handle(submitRequest("transpose", a)));
+        core.runUntilIdle();
+        const json::Value r = core.jobResponse(id);
+        ASSERT_EQ(r.at("state").asString(), "done");
+        EXPECT_TRUE(serve::cscFromJson(r.at("csc")) ==
+                    sparse::transposeReference(a));
+    }
+    EXPECT_GE(core.cacheStats().evictions, 3u);
+    EXPECT_EQ(core.cacheStats().hits, 0u);
+}
+
+// --- kernels end to end ------------------------------------------------
+
+TEST(Jobs, AllKernelsMatchCpuReferences)
+{
+    ServeCore core(smallConfig(2));
+    const sparse::CsrMatrix a = sparse::generateUniform(20, 16, 100, 21);
+
+    const std::uint64_t tid =
+        submittedId(core.handle(submitRequest("transpose", a)));
+    const json::Value spmvReq = submitRequest("spmv", a);
+    const std::uint64_t sid = submittedId(core.handle(spmvReq));
+    const json::Value spgemmReq = submitRequest("spgemm", a);
+    const std::uint64_t gid = submittedId(core.handle(spgemmReq));
+    core.runUntilIdle();
+
+    const json::Value tr = core.jobResponse(tid);
+    ASSERT_EQ(tr.at("state").asString(), "done");
+    EXPECT_TRUE(serve::cscFromJson(tr.at("csc")) ==
+                sparse::transposeReference(a));
+
+    const json::Value sr = core.jobResponse(sid);
+    ASSERT_EQ(sr.at("state").asString(), "done");
+    const std::vector<double> y =
+        serve::doubleVectorFromJson(sr.at("y"));
+    const std::vector<double> want = sparse::spmvReference(
+        a, serve::valueVectorFromJson(spmvReq.at("x")));
+    ASSERT_EQ(y.size(), want.size());
+    for (std::size_t i = 0; i < y.size(); ++i)
+        EXPECT_NEAR(y[i], want[i], 1e-3 * (std::abs(want[i]) + 1.0));
+
+    const json::Value gr = core.jobResponse(gid);
+    ASSERT_EQ(gr.at("state").asString(), "done");
+    EXPECT_TRUE(serve::csrFromJson(gr.at("c")) ==
+                baselines::spgemmHeapMerge(
+                    a, serve::csrFromJson(spgemmReq.at("b"))));
+}
+
+// --- scheduling --------------------------------------------------------
+
+/** Submit one long then one short job; return (long, short) total
+ *  latency in virtual cycles under @p policy. */
+std::pair<Cycle, Cycle>
+longShortLatencies(serve::SchedPolicy policy)
+{
+    ServeConfig config = smallConfig(1);
+    config.policy = policy;
+    ServeCore core(config);
+
+    const sparse::CsrMatrix big = sparse::generateUniform(64, 64, 2048, 5);
+    const sparse::CsrMatrix small = sparse::generateUniform(8, 8, 16, 6);
+    const std::uint64_t longId =
+        submittedId(core.handle(submitRequest("transpose", big, "a")));
+    const std::uint64_t shortId =
+        submittedId(core.handle(submitRequest("transpose", small, "b")));
+    core.runUntilIdle();
+
+    const auto total = [&](std::uint64_t id) {
+        const json::Value r = core.jobResponse(id);
+        EXPECT_EQ(r.at("state").asString(), "done");
+        return static_cast<Cycle>(r.at("totalCycles").asNumber());
+    };
+    return {total(longId), total(shortId)};
+}
+
+TEST(Scheduler, FairPreemptsFifoBlocks)
+{
+    const auto [fairLong, fairShort] =
+        longShortLatencies(serve::SchedPolicy::Fair);
+    const auto [fifoLong, fifoShort] =
+        longShortLatencies(serve::SchedPolicy::Fifo);
+
+    // FIFO: the short job sits behind the long one, so its total
+    // latency exceeds the long job's service time. Fair: the short job
+    // interleaves and finishes well before the long job.
+    EXPECT_GE(fifoShort, fifoLong);
+    EXPECT_LT(fairShort, fairLong);
+    EXPECT_LT(fairShort, fifoShort);
+}
+
+TEST(Scheduler, VirtualLatenciesAreDeterministic)
+{
+    const auto run = [] {
+        ServeConfig config = smallConfig(2);
+        ServeCore core(config);
+        const sparse::CsrMatrix a =
+            sparse::generateUniform(24, 24, 160, 77);
+        for (int i = 0; i < 4; ++i)
+            core.handle(submitRequest(
+                i % 2 ? "spmv" : "transpose", a, i % 2 ? "t1" : "t0"));
+        core.runUntilIdle();
+        return core.statsJson().serialize();
+    };
+    EXPECT_EQ(run(), run());
+}
+
+// --- cancellation ------------------------------------------------------
+
+TEST(Cancel, OwnerDisconnectCancelsOnlyTheirJobs)
+{
+    ServeConfig config = smallConfig(2);
+    config.sliceCycles = 100; // keep the jobs mid-flight across pumps
+    ServeCore core(config);
+    const sparse::CsrMatrix a = sparse::generateUniform(32, 32, 512, 9);
+
+    const std::uint64_t mine =
+        submittedId(core.handle(submitRequest("transpose", a, "t0"), 7));
+    const std::uint64_t theirs =
+        submittedId(core.handle(submitRequest("transpose", a, "t1"), 8));
+    core.pump(); // both mid-flight
+
+    core.cancelOwner(7);
+    const json::Value r = core.jobResponse(mine);
+    EXPECT_EQ(r.at("state").asString(), "cancelled");
+    EXPECT_NE(r.at("error").asString().find("disconnected"),
+              std::string::npos);
+
+    core.runUntilIdle();
+    EXPECT_EQ(core.jobResponse(theirs).at("state").asString(), "done");
+}
+
+// --- socket transport --------------------------------------------------
+
+/** A SocketServer on a Unix socket in the CWD, served from a thread. */
+class ServerFixture
+{
+  public:
+    explicit ServerFixture(ServeConfig config = smallConfig(2),
+                           std::uint32_t max_frame =
+                               serve::kDefaultMaxFrameBytes)
+        : core_(config)
+    {
+        path_ = "menda_serve_test_" +
+                std::to_string(::getpid()) + "_" +
+                std::to_string(counter_++) + ".sock";
+        serve::ServerOptions options;
+        options.unixPath = path_;
+        options.maxFrameBytes = max_frame;
+        server_ = std::make_unique<serve::SocketServer>(core_, options);
+        thread_ = std::thread([this] { server_->run(); });
+    }
+
+    ~ServerFixture()
+    {
+        if (thread_.joinable()) {
+            shutdown();
+            thread_.join();
+        }
+        std::remove(path_.c_str());
+    }
+
+    serve::Client connect() { return serve::Client::connectUnix(path_); }
+
+    void
+    shutdown()
+    {
+        try {
+            serve::Client client = connect();
+            client.call(json::parse("{\"type\":\"shutdown\"}"));
+        } catch (const std::exception &) {
+            // Server already stopping; run() still exits on its own.
+        }
+    }
+
+  private:
+    static int counter_;
+    ServeCore core_;
+    std::string path_;
+    std::unique_ptr<serve::SocketServer> server_;
+    std::thread thread_;
+};
+
+int ServerFixture::counter_ = 0;
+
+TEST(Socket, WaitSubmitReturnsFinishedJob)
+{
+    ServerFixture fixture;
+    serve::Client client = fixture.connect();
+
+    const sparse::CsrMatrix a = sparse::generateUniform(16, 12, 60, 31);
+    const json::Value request = withField(
+        submitRequest("transpose", a), "wait", json::Value(true));
+    const json::Value response = client.call(request);
+    ASSERT_EQ(response.at("type").asString(), "jobStatus")
+        << response.serialize();
+    EXPECT_EQ(response.at("state").asString(), "done");
+    EXPECT_TRUE(serve::cscFromJson(response.at("csc")) ==
+                sparse::transposeReference(a));
+
+    const json::Value stats =
+        client.call(json::parse("{\"type\":\"stats\"}"));
+    EXPECT_EQ(stats.at("jobs").at("completed").asNumber(), 1.0);
+}
+
+TEST(Socket, TruncatedFrameThenDisconnectIsHarmless)
+{
+    ServerFixture fixture;
+    {
+        serve::Client rude = fixture.connect();
+        // Header promises 1000 bytes; send 10 and vanish.
+        std::string wire = serve::encodeFrame(std::string(1000, 'z'));
+        rude.sendRaw(wire.substr(0, 14));
+        rude.closeNow();
+    }
+    // The server must still serve a well-behaved client.
+    serve::Client client = fixture.connect();
+    const json::Value stats =
+        client.call(json::parse("{\"type\":\"stats\"}"));
+    EXPECT_EQ(stats.at("type").asString(), "stats");
+}
+
+TEST(Socket, OversizedFrameGetsTypedErrorThenClose)
+{
+    ServerFixture fixture(smallConfig(2), /*max_frame=*/256);
+    serve::Client client = fixture.connect();
+
+    client.sendRaw(serve::encodeFrame(std::string(4096, 'x')));
+    const json::Value response = client.recv();
+    std::string code;
+    ASSERT_TRUE(serve::isError(response, &code));
+    EXPECT_EQ(code, "badFrame");
+    // The poisoned connection is closed after the error drains.
+    EXPECT_THROW(client.recv(), std::exception);
+
+    serve::Client fresh = fixture.connect();
+    EXPECT_EQ(fresh.call(json::parse("{\"type\":\"stats\"}"))
+                  .at("type")
+                  .asString(),
+              "stats");
+}
+
+TEST(Socket, MalformedJsonKeepsConnectionUsable)
+{
+    ServerFixture fixture;
+    serve::Client client = fixture.connect();
+
+    client.sendRaw(serve::encodeFrame("{this is not json"));
+    std::string code;
+    ASSERT_TRUE(serve::isError(client.recv(), &code));
+    EXPECT_EQ(code, "badJson");
+
+    // Same connection, valid request: still served.
+    EXPECT_EQ(client.call(json::parse("{\"type\":\"stats\"}"))
+                  .at("type")
+                  .asString(),
+              "stats");
+}
+
+TEST(Socket, MidJobDisconnectCancelsJob)
+{
+    ServerFixture fixture;
+    {
+        serve::Client client = fixture.connect();
+        const json::Value request = withField(
+            submitRequest("spgemm",
+                          sparse::generateUniform(48, 48, 1024, 41)),
+            "wait", json::Value(true));
+        client.send(request);
+        client.closeNow(); // never reads the response
+    }
+
+    serve::Client observer = fixture.connect();
+    double cancelled = 0;
+    for (int attempt = 0; attempt < 200 && cancelled < 1; ++attempt) {
+        const json::Value stats =
+            observer.call(json::parse("{\"type\":\"stats\"}"));
+        cancelled = stats.at("jobs").at("cancelled").asNumber();
+    }
+    EXPECT_EQ(cancelled, 1.0);
+}
+
+} // namespace
