@@ -125,20 +125,31 @@ struct PolicyStats
  * repeats (within a policy, from the residency cache, and across
  * policies) must match it bitwise.
  */
+/** Observability artifacts of one run, for byte-identity checks. */
+struct RunArtifacts
+{
+    std::string journal;
+    std::string trace;
+    std::string prometheus;
+};
+
 PolicyStats
 runPolicy(serve::SchedPolicy policy,
-          std::map<std::string, std::string> &golden)
+          std::map<std::string, std::string> &golden,
+          bool observability = true, unsigned host_threads = 1,
+          RunArtifacts *artifacts = nullptr)
 {
     serve::ServeConfig config;
     config.system.channels = 1;
     config.system.dimmsPerChannel = 1;
     config.system.ranksPerDimm = 8;
-    config.system.hostThreads = 1;
+    config.system.hostThreads = host_threads;
     config.system.progressEveryCycles = 0;
     config.queueDepth = 64;
     config.tenantInFlight = 4;
     config.sliceCycles = 2'000;
     config.policy = policy;
+    config.observability = observability;
     serve::ServeCore core(config);
 
     std::vector<Tenant> tenants;
@@ -215,6 +226,11 @@ runPolicy(serve::SchedPolicy policy,
     stats.wallSeconds = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - start)
                             .count();
+    if (artifacts) {
+        artifacts->journal = core.journalJsonl();
+        artifacts->trace = core.jobTraceJson();
+        artifacts->prometheus = core.prometheusText();
+    }
     return stats;
 }
 
@@ -232,10 +248,14 @@ main(int argc, char **argv)
 
     std::map<std::string, std::string> golden;
     std::map<std::string, PolicyStats> runs;
+    RunArtifacts fairArtifacts;
     for (const serve::SchedPolicy policy :
          {serve::SchedPolicy::Fair, serve::SchedPolicy::Fifo}) {
         const std::string name = serve::schedPolicyName(policy);
-        runs[name] = runPolicy(policy, golden);
+        runs[name] = runPolicy(
+            policy, golden, true, 1,
+            policy == serve::SchedPolicy::Fair ? &fairArtifacts
+                                               : nullptr);
     }
 
     std::printf("%-6s %10s %12s %12s %12s %10s %8s\n", "policy",
@@ -263,6 +283,9 @@ main(int argc, char **argv)
             report.report().setMetric(
                 name + "." + kernel + ".queueWait.p95",
                 percentile(stats.waits.at(kernel), 95));
+            report.report().setMetric(
+                name + "." + kernel + ".queueWait.p99",
+                percentile(stats.waits.at(kernel), 99));
         }
         report.report().setMetric(
             name + ".jobs", static_cast<double>(stats.completed));
@@ -286,6 +309,37 @@ main(int argc, char **argv)
                 : 0.0);
     }
 
+    // Observability determinism: the identical fair workload rerun with
+    // 4 host threads must reproduce the journal, the job-span trace,
+    // and the Prometheus exposition byte for byte — every timestamp in
+    // them lives on the virtual clock.
+    RunArtifacts threadedArtifacts;
+    runPolicy(serve::SchedPolicy::Fair, golden, true, 4,
+              &threadedArtifacts);
+    if (threadedArtifacts.journal != fairArtifacts.journal)
+        menda_fatal("bench_serve: journal differs across host threads");
+    if (threadedArtifacts.trace != fairArtifacts.trace)
+        menda_fatal(
+            "bench_serve: job trace differs across host threads");
+    if (threadedArtifacts.prometheus != fairArtifacts.prometheus)
+        menda_fatal("bench_serve: metrics differ across host threads");
+
+    // Observability overhead A/B: same fair workload with tracing and
+    // the journal compiled out of the run. The virtual schedule must
+    // not move at all; the wall-clock delta is the overhead (reported
+    // under a "traceOverhead" name so the host-speed diff ignores it).
+    const PolicyStats plain =
+        runPolicy(serve::SchedPolicy::Fair, golden, false);
+    if (plain.virtualCycles != runs["fair"].virtualCycles)
+        menda_fatal("bench_serve: disabling observability changed the "
+                    "virtual schedule");
+    const double overhead_pct =
+        plain.wallSeconds > 0.0
+            ? (runs["fair"].wallSeconds - plain.wallSeconds) /
+                  plain.wallSeconds * 100.0
+            : 0.0;
+    report.report().setMetric("summary.traceOverheadPct", overhead_pct);
+
     const double fair_p95 = percentile(runs["fair"].totals["spmv"], 95);
     const double fifo_p95 = percentile(runs["fifo"].totals["spmv"], 95);
     const double ratio = fair_p95 > 0.0 ? fifo_p95 / fair_p95 : 0.0;
@@ -296,9 +350,11 @@ main(int argc, char **argv)
         "summary.jobs", static_cast<double>(runs["fair"].completed));
 
     std::printf("\nsummary: spmv p95 fifo/fair = %.2fx, "
-                "cache hit rate %.1f%% (%llu jobs per policy)\n",
+                "cache hit rate %.1f%% (%llu jobs per policy), "
+                "observability overhead %.2f%% wall\n",
                 ratio, runs["fair"].cacheHitRatePct,
                 static_cast<unsigned long long>(
-                    runs["fair"].completed));
+                    runs["fair"].completed),
+                overhead_pct);
     return 0;
 }

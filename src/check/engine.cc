@@ -59,38 +59,66 @@ namespace
 CaseOutcome
 runServed(const CaseSpec &spec)
 {
-    serve::ServeConfig serve_config;
-    serve_config.system = spec.systemConfig();
-    serve_config.ranksPerJob = serve_config.system.totalPus();
-    // A small slice forces many step()/yield rounds per job, which is
-    // exactly the resumable execution this variant exists to check.
-    serve_config.sliceCycles = 1024;
-    serve::ServeCore core(serve_config);
-
-    obs::json::Object request;
-    request["schema"] = obs::json::Value(serve::kSchema);
-    request["type"] = obs::json::Value("submit");
-    request["kernel"] =
+    obs::json::Object request_fields;
+    request_fields["schema"] = obs::json::Value(serve::kSchema);
+    request_fields["type"] = obs::json::Value("submit");
+    request_fields["kernel"] =
         obs::json::Value(std::string(kernelName(spec.kernel)));
     const sparse::CsrMatrix a = buildMatrix(spec.a);
-    request["a"] = serve::csrToJson(a);
+    request_fields["a"] = serve::csrToJson(a);
     if (spec.kernel == Kernel::Spmv)
-        request["x"] =
+        request_fields["x"] =
             serve::valueVectorToJson(spec.spmvInput(a.cols));
     else if (spec.kernel == Kernel::Spgemm)
-        request["b"] = serve::csrToJson(buildMatrix(spec.b));
+        request_fields["b"] = serve::csrToJson(buildMatrix(spec.b));
+    const obs::json::Value request(std::move(request_fields));
 
-    const obs::json::Value submitted =
-        core.handle(obs::json::Value(std::move(request)));
-    std::string code, message;
-    if (serve::isError(submitted, &code, &message))
-        throw std::runtime_error("served submit rejected (" + code +
-                                 "): " + message);
-    const auto id =
-        static_cast<std::uint64_t>(submitted.at("id").asNumber());
-    core.runUntilIdle();
+    struct ServedRun
+    {
+        obs::json::Value response;
+        std::string journal;
+        std::string trace;
+    };
+    const auto run = [&](unsigned host_threads) -> ServedRun {
+        serve::ServeConfig serve_config;
+        serve_config.system = spec.systemConfig();
+        serve_config.system.hostThreads = host_threads;
+        serve_config.ranksPerJob = serve_config.system.totalPus();
+        // A small slice forces many step()/yield rounds per job, which
+        // is exactly the resumable execution this variant checks; a
+        // window every few slices exercises the journal rollovers too.
+        serve_config.sliceCycles = 1024;
+        serve_config.windowCycles = 4096;
+        serve::ServeCore core(serve_config);
 
-    const obs::json::Value response = core.jobResponse(id);
+        const obs::json::Value submitted = core.handle(request);
+        std::string code, message;
+        if (serve::isError(submitted, &code, &message))
+            throw std::runtime_error("served submit rejected (" + code +
+                                     "): " + message);
+        const auto id =
+            static_cast<std::uint64_t>(submitted.at("id").asNumber());
+        core.runUntilIdle();
+        return {core.jobResponse(id), core.journalJsonl(),
+                core.jobTraceJson()};
+    };
+
+    // Run twice at different host thread counts: outputs AND the
+    // observability artifacts (journal, job-span trace) must be
+    // byte-identical — every timestamp lives on the virtual clock.
+    const ServedRun first = run(1);
+    const ServedRun second = run(2);
+    if (first.journal != second.journal)
+        throw std::runtime_error(
+            "served journal differs across host threads");
+    if (first.trace != second.trace)
+        throw std::runtime_error(
+            "served job trace differs across host threads");
+    if (first.response.serialize() != second.response.serialize())
+        throw std::runtime_error(
+            "served response differs across host threads");
+
+    const obs::json::Value &response = first.response;
     if (response.at("state").asString() != "done")
         throw std::runtime_error(
             "served job ended in state '" +

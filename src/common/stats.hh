@@ -111,6 +111,20 @@ class Histogram
     /** Index of the highest non-empty bucket + 1 (0 when empty). */
     unsigned usedBuckets() const;
 
+    /**
+     * Estimate the @p q quantile (q in [0,1], e.g. 0.5 / 0.95 / 0.99)
+     * of the recorded samples from the bucket counts alone: locate the
+     * bucket holding the nearest-rank sample, interpolate linearly by
+     * rank position across the bucket's value range, and clamp to the
+     * recorded [min, max]. The estimate always lands inside the value
+     * range of the bucket containing the true nearest-rank sample, so
+     * it is within a factor of 2 of the exact answer, and exact when
+     * every sample in that bucket is the same value (min == max pins
+     * the degenerate one-value case). Merged histograms estimate the
+     * quantiles of the combined sample set.
+     */
+    double quantile(double q) const;
+
     static unsigned
     bucketOf(std::uint64_t sample)
     {

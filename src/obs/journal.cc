@@ -1,0 +1,56 @@
+#include "obs/journal.hh"
+
+#include "common/log.hh"
+
+namespace menda::obs
+{
+
+EventJournal::EventJournal(std::size_t capacity) : capacity_(capacity)
+{
+    menda_assert(capacity_ > 0, "journal capacity must be >= 1");
+    entries_.reserve(capacity_);
+}
+
+void
+EventJournal::emit(Cycle at, const std::string &type, json::Object fields)
+{
+    menda_assert(!fields.count("cycle") && !fields.count("seq") &&
+                     !fields.count("type"),
+                 "journal field name collides with the envelope");
+    fields["cycle"] = json::Value(at);
+    fields["seq"] = json::Value(nextSeq_);
+    fields["type"] = json::Value(type);
+
+    Entry entry;
+    entry.seq = nextSeq_++;
+    entry.line = json::Value(std::move(fields)).serialize();
+    if (entries_.size() < capacity_) {
+        entries_.push_back(std::move(entry));
+        return;
+    }
+    entries_[head_] = std::move(entry);
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+}
+
+std::uint64_t
+EventJournal::oldestSeq() const
+{
+    return entries_.empty() ? 0 : entries_[head_].seq;
+}
+
+std::string
+EventJournal::jsonlSince(std::uint64_t from_seq) const
+{
+    std::string out;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const Entry &e = entries_[(head_ + i) % entries_.size()];
+        if (e.seq < from_seq)
+            continue;
+        out += e.line;
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace menda::obs

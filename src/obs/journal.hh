@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Structured event journal: a bounded ring of typed events on a
+ * virtual-cycle clock.
+ *
+ * Long-running services need an answer to "what happened around cycle
+ * X?" that metrics cannot give: discrete, rare events (an admission
+ * reject, a cache eviction, a cancellation, an SLO-window rollover)
+ * with their context. The journal records each event as one canonical
+ * JSON line — `{"cycle":C,"seq":S,"type":"...",...fields}` — stamped
+ * with a monotone sequence number so a remote reader can drain
+ * incrementally and detect gaps from drops.
+ *
+ * The ring holds a fixed number of entries; when full, the oldest entry
+ * is overwritten (newest events are the ones an operator asks about).
+ * Everything is deterministic for a deterministic event stream: same
+ * events in, byte-identical JSONL out, independent of host threading or
+ * wall time — which is what lets tests assert journal bytes across
+ * re-runs and `--threads`.
+ */
+
+#ifndef MENDA_OBS_JOURNAL_HH
+#define MENDA_OBS_JOURNAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "obs/json.hh"
+
+namespace menda::obs
+{
+
+class EventJournal
+{
+  public:
+    /** @param capacity ring capacity in events (>= 1). */
+    explicit EventJournal(std::size_t capacity = 4096);
+
+    /**
+     * Append one typed event at virtual cycle @p at. @p fields are
+     * merged into the line object next to "cycle"/"seq"/"type" (those
+     * three keys are reserved). Oldest entry is dropped when full.
+     */
+    void emit(Cycle at, const std::string &type,
+              json::Object fields = {});
+
+    /** Events ever emitted (monotone; first seq is 0). */
+    std::uint64_t emitted() const { return nextSeq_; }
+
+    /** Events overwritten because the ring was full. */
+    std::uint64_t droppedEvents() const { return dropped_; }
+
+    /** Events currently buffered. */
+    std::size_t size() const { return entries_.size(); }
+
+    std::size_t capacity() const { return capacity_; }
+
+    /** Sequence number of the oldest buffered event (0 when empty). */
+    std::uint64_t oldestSeq() const;
+
+    /** All buffered events, oldest first, one JSON object per line. */
+    std::string jsonl() const { return jsonlSince(0); }
+
+    /**
+     * Buffered events with seq >= @p from_seq as JSONL. Pass the
+     * journal's emitted() from the previous drain to read only new
+     * events; if @p from_seq is older than oldestSeq() the reader
+     * missed droppedEvents() worth of history.
+     */
+    std::string jsonlSince(std::uint64_t from_seq) const;
+
+  private:
+    struct Entry
+    {
+        std::uint64_t seq = 0;
+        std::string line; ///< canonical JSON, no trailing newline
+    };
+
+    std::size_t capacity_;
+    std::size_t head_ = 0; ///< index of the oldest entry once wrapped
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::vector<Entry> entries_;
+};
+
+} // namespace menda::obs
+
+#endif // MENDA_OBS_JOURNAL_HH

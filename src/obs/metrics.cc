@@ -1,0 +1,146 @@
+#include "obs/metrics.hh"
+
+#include <stdexcept>
+
+namespace menda::obs
+{
+
+const char *
+metricTypeName(MetricFamily::Type type)
+{
+    return type == MetricFamily::Type::Counter ? "counter" : "gauge";
+}
+
+MetricSample &
+addSample(MetricFamily &family, double value,
+          std::map<std::string, std::string> labels)
+{
+    MetricSample sample;
+    sample.labels = std::move(labels);
+    sample.value = value;
+    family.samples.push_back(std::move(sample));
+    return family.samples.back();
+}
+
+namespace
+{
+
+/** Prometheus label-value escaping: backslash, quote, newline. */
+std::string
+escapeLabel(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '"')
+            out += "\\\"";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+renderPrometheus(const std::vector<MetricFamily> &families)
+{
+    std::string out;
+    for (const MetricFamily &family : families) {
+        if (!family.help.empty())
+            out += "# HELP " + family.name + " " + family.help + "\n";
+        out += "# TYPE " + family.name + " " +
+               metricTypeName(family.type) + "\n";
+        for (const MetricSample &sample : family.samples) {
+            out += family.name;
+            if (!sample.labels.empty()) {
+                out += '{';
+                bool first = true;
+                for (const auto &[key, value] : sample.labels) {
+                    if (!first)
+                        out += ',';
+                    first = false;
+                    out += key + "=\"" + escapeLabel(value) + "\"";
+                }
+                out += '}';
+            }
+            out += ' ';
+            out += json::formatNumber(sample.value);
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+json::Value
+metricsToJson(const std::vector<MetricFamily> &families)
+{
+    json::Array array;
+    array.reserve(families.size());
+    for (const MetricFamily &family : families) {
+        json::Object fo;
+        fo["name"] = json::Value(family.name);
+        fo["help"] = json::Value(family.help);
+        fo["type"] = json::Value(metricTypeName(family.type));
+        json::Array samples;
+        samples.reserve(family.samples.size());
+        for (const MetricSample &sample : family.samples) {
+            json::Object so;
+            json::Object labels;
+            for (const auto &[key, value] : sample.labels)
+                labels[key] = json::Value(value);
+            so["labels"] = json::Value(std::move(labels));
+            so["value"] = json::Value(sample.value);
+            samples.push_back(json::Value(std::move(so)));
+        }
+        fo["samples"] = json::Value(std::move(samples));
+        array.push_back(json::Value(std::move(fo)));
+    }
+    return json::Value(std::move(array));
+}
+
+std::vector<MetricFamily>
+metricsFromJson(const json::Value &v)
+{
+    if (!v.isArray())
+        throw std::runtime_error("metrics: families is not an array");
+    std::vector<MetricFamily> families;
+    families.reserve(v.asArray().size());
+    for (const json::Value &fv : v.asArray()) {
+        if (!fv.isObject() || !fv.at("name").isString() ||
+            !fv.at("samples").isArray())
+            throw std::runtime_error("metrics: malformed family");
+        MetricFamily family;
+        family.name = fv.at("name").asString();
+        if (fv.at("help").isString())
+            family.help = fv.at("help").asString();
+        const std::string &type = fv.at("type").isString()
+                                      ? fv.at("type").asString()
+                                      : "gauge";
+        family.type = type == "counter" ? MetricFamily::Type::Counter
+                                        : MetricFamily::Type::Gauge;
+        for (const json::Value &sv : fv.at("samples").asArray()) {
+            if (!sv.isObject() || !sv.at("value").isNumber())
+                throw std::runtime_error("metrics: malformed sample");
+            MetricSample sample;
+            sample.value = sv.at("value").asNumber();
+            if (sv.at("labels").isObject())
+                for (const auto &[key, value] :
+                     sv.at("labels").asObject()) {
+                    if (!value.isString())
+                        throw std::runtime_error(
+                            "metrics: label value is not a string");
+                    sample.labels[key] = value.asString();
+                }
+            family.samples.push_back(std::move(sample));
+        }
+        families.push_back(std::move(family));
+    }
+    return families;
+}
+
+} // namespace menda::obs

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Metric exposition model shared by the daemon, its clients, and CI.
+ *
+ * A snapshot is a flat list of MetricFamily — a named, typed series
+ * with labelled samples — which renders two ways from the same data:
+ *
+ *  - renderPrometheus(): the Prometheus text exposition format, so an
+ *    external scraper can poll the daemon's `metrics` verb directly.
+ *  - metricsToJson()/metricsFromJson(): a canonical JSON round-trip
+ *    used on the wire (`menda.job/1` "metrics" response) and by
+ *    `menda_top --json`.
+ *
+ * Both renderings are byte-deterministic: families render in list
+ * order, samples in list order, labels sorted (std::map), numbers in
+ * shortest round-trip form. Precomputed quantiles travel as gauge
+ * samples with a "quantile" label, matching Prometheus summary
+ * conventions without its _sum/_count machinery.
+ */
+
+#ifndef MENDA_OBS_METRICS_HH
+#define MENDA_OBS_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+
+namespace menda::obs
+{
+
+struct MetricSample
+{
+    std::map<std::string, std::string> labels; ///< sorted by key
+    double value = 0.0;
+};
+
+struct MetricFamily
+{
+    enum class Type : std::uint8_t
+    {
+        Gauge,   ///< point-in-time value (utilization, quantile)
+        Counter, ///< monotone total (jobs completed, cache hits)
+    };
+
+    std::string name; ///< Prometheus-safe: [a-zA-Z_][a-zA-Z0-9_]*
+    std::string help;
+    Type type = Type::Gauge;
+    std::vector<MetricSample> samples;
+};
+
+const char *metricTypeName(MetricFamily::Type type);
+
+/** Convenience: append a sample to @p family and return it. */
+MetricSample &addSample(MetricFamily &family, double value,
+                        std::map<std::string, std::string> labels = {});
+
+/** Render @p families in the Prometheus text exposition format. */
+std::string renderPrometheus(const std::vector<MetricFamily> &families);
+
+/** The "families" JSON array for the wire / menda_top --json. */
+json::Value metricsToJson(const std::vector<MetricFamily> &families);
+
+/** Parse metricsToJson() output back; throws on malformed input. */
+std::vector<MetricFamily> metricsFromJson(const json::Value &v);
+
+} // namespace menda::obs
+
+#endif // MENDA_OBS_METRICS_HH

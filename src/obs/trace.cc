@@ -36,8 +36,17 @@ TraceShard::internName(const std::string &name)
 void
 Tracer::ensureShards(std::size_t n)
 {
-    while (shards_.size() < n)
+    while (shards_.size() < n) {
         shards_.push_back(std::make_unique<TraceShard>(shardCapacity_));
+        shardLabels_.emplace_back();
+    }
+}
+
+void
+Tracer::labelShard(std::size_t i, std::string label)
+{
+    menda_assert(i < shards_.size(), "labelShard: no shard ", i);
+    shardLabels_[i] = std::move(label);
 }
 
 std::uint64_t
@@ -87,7 +96,9 @@ Tracer::writeChromeTrace(std::ostream &os) const
         const TraceShard &shard = *shards_[s];
         const std::string pid = std::to_string(s + 1);
 
-        std::string process = "shard" + std::to_string(s);
+        std::string process = shardLabels_[s].empty()
+                                  ? "shard" + std::to_string(s)
+                                  : shardLabels_[s];
         if (shard.dropped_ > 0)
             process += " (dropped " + std::to_string(shard.dropped_) +
                        " events)";

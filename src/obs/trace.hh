@@ -138,6 +138,12 @@ class Tracer
      */
     void ensureShards(std::size_t n);
 
+    /**
+     * Name shard @p i in the serialized trace ("serve", "pu3", ...)
+     * instead of the default "shard<i>". The shard must exist.
+     */
+    void labelShard(std::size_t i, std::string label);
+
     std::size_t shardCount() const { return shards_.size(); }
     TraceShard *shard(std::size_t i) { return shards_[i].get(); }
     const TraceShard *shard(std::size_t i) const
@@ -160,6 +166,7 @@ class Tracer
   private:
     std::size_t shardCapacity_;
     std::vector<std::unique_ptr<TraceShard>> shards_;
+    std::vector<std::string> shardLabels_; ///< "" = default "shard<i>"
 };
 
 } // namespace menda::obs

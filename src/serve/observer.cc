@@ -1,0 +1,125 @@
+#include "serve/observer.hh"
+
+namespace menda::serve
+{
+
+ServeObserver::ServeObserver(unsigned machine_ranks,
+                             std::uint64_t freq_mhz, Options options)
+    : tracer_(options.traceCapacity), journal_(options.journalCapacity)
+{
+    tracer_.ensureShards(1);
+    tracer_.labelShard(0, "serve");
+    lifecycleTrack_ =
+        shard().addTrack("lifecycle", obs::TrackKind::Instant, freq_mhz);
+    queueTrack_ =
+        shard().addTrack("queue", obs::TrackKind::Span, freq_mhz);
+    rankTracks_.reserve(machine_ranks);
+    for (unsigned r = 0; r < machine_ranks; ++r)
+        rankTracks_.push_back(shard().addTrack(
+            "rank" + std::to_string(r), obs::TrackKind::Span,
+            freq_mhz));
+}
+
+void
+ServeObserver::jobSubmitted(std::uint64_t id, const std::string &tenant,
+                            const char *kernel, unsigned ranks,
+                            bool cache_hit, Cycle at)
+{
+    JobInfo info;
+    info.tenant = tenant;
+    info.label = "j" + std::to_string(id) + " " + tenant + "/" +
+                 kernel + "x" + std::to_string(ranks) +
+                 (cache_hit ? " hit" : " miss");
+    info.name = shard().internName(info.label);
+    shard().instant(lifecycleTrack_,
+                    shard().internName("submit " + info.label), at);
+    jobs_.emplace(id, std::move(info));
+}
+
+void
+ServeObserver::admissionRejected(const std::string &tenant,
+                                 const std::string &code, Cycle at)
+{
+    shard().instant(lifecycleTrack_,
+                    shard().internName("reject " + tenant + " (" +
+                                       code + ")"),
+                    at);
+    obs::json::Object fields;
+    fields["tenant"] = obs::json::Value(tenant);
+    fields["code"] = obs::json::Value(code);
+    journal_.emit(at, "reject", std::move(fields));
+}
+
+void
+ServeObserver::jobDispatched(std::uint64_t id, Cycle submit, Cycle start)
+{
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return;
+    shard().span(queueTrack_,
+                 shard().internName("wait " + it->second.label), submit,
+                 start);
+}
+
+void
+ServeObserver::sliceExecuted(std::uint64_t id,
+                             const std::vector<unsigned> &ranks,
+                             Cycle begin, Cycle end)
+{
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return;
+    for (unsigned r : ranks)
+        shard().span(rankTracks_[r], it->second.name, begin, end);
+}
+
+void
+ServeObserver::jobPreempted(std::uint64_t id, Cycle at)
+{
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return;
+    shard().instant(lifecycleTrack_,
+                    shard().internName("preempt " + it->second.label),
+                    at);
+}
+
+void
+ServeObserver::jobFinished(std::uint64_t id, const char *state,
+                           unsigned preemptions, Cycle at)
+{
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return;
+    std::string name = std::string(state) + " " + it->second.label;
+    if (preemptions > 0)
+        name += " (" + std::to_string(preemptions) + " preempt)";
+    shard().instant(lifecycleTrack_, shard().internName(name), at);
+    if (std::string(state) == "cancelled") {
+        obs::json::Object fields;
+        fields["job"] = obs::json::Value(id);
+        fields["tenant"] = obs::json::Value(it->second.tenant);
+        journal_.emit(at, "cancel", std::move(fields));
+    }
+    jobs_.erase(it);
+}
+
+void
+ServeObserver::cacheEvicted(const char *plan_kind, std::uint64_t bytes,
+                            Cycle at)
+{
+    obs::json::Object fields;
+    fields["plan"] = obs::json::Value(plan_kind);
+    fields["bytes"] = obs::json::Value(bytes);
+    journal_.emit(at, "evict", std::move(fields));
+}
+
+void
+ServeObserver::windowRollover(std::uint64_t index, Cycle at)
+{
+    obs::json::Object fields;
+    fields["index"] = obs::json::Value(index);
+    journal_.emit(at, "window", std::move(fields));
+}
+
+} // namespace menda::serve

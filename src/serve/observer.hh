@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Service-level observability plane (DESIGN.md §14).
+ *
+ * ServeCore narrates the job lifecycle into this observer, which fans
+ * the stream into two sinks on the same virtual PU-cycle clock:
+ *
+ *  - Job-span tracing (obs::Tracer, one shard labeled "serve"): a
+ *    "lifecycle" instant track (submit / reject / preempt / terminal
+ *    state per job), a "queue" span track (submit → dispatch wait),
+ *    and one span track per DRAM rank carrying the execution slices of
+ *    whichever job occupied that rank each scheduling round. The
+ *    serialized Chrome trace is loadable in Perfetto next to the
+ *    kernel-level traces from PR 4 and is byte-identical across
+ *    `--threads` and re-runs because every timestamp is virtual.
+ *
+ *  - Structured event journal (obs::EventJournal): typed, rare events
+ *    — admission rejects, cache evictions, cancellations, SLO-window
+ *    rollovers — as canonical JSONL, drainable over the wire via the
+ *    `stats.stream` verb.
+ *
+ * The observer holds no scheduling state and must never influence the
+ * schedule: ServeCore behaves identically with observability disabled,
+ * which is what the bench overhead A/B relies on.
+ */
+
+#ifndef MENDA_SERVE_OBSERVER_HH
+#define MENDA_SERVE_OBSERVER_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "obs/journal.hh"
+#include "obs/trace.hh"
+
+namespace menda::serve
+{
+
+class ServeObserver
+{
+  public:
+    struct Options
+    {
+        std::size_t traceCapacity = 1 << 16;  ///< events
+        std::size_t journalCapacity = 4096;   ///< events
+    };
+
+    /** @param freq_mhz PU clock (scales trace timestamps to µs). */
+    ServeObserver(unsigned machine_ranks, std::uint64_t freq_mhz,
+                  Options options);
+
+    ServeObserver(unsigned machine_ranks, std::uint64_t freq_mhz)
+        : ServeObserver(machine_ranks, freq_mhz, Options())
+    {}
+
+    // --- lifecycle feed (all cycles are virtual PU cycles) ---
+
+    void jobSubmitted(std::uint64_t id, const std::string &tenant,
+                      const char *kernel, unsigned ranks,
+                      bool cache_hit, Cycle at);
+
+    void admissionRejected(const std::string &tenant,
+                           const std::string &code, Cycle at);
+
+    /** Queued → Running: emits the queue-wait span. */
+    void jobDispatched(std::uint64_t id, Cycle submit, Cycle start);
+
+    /** One execution slice on the given concrete ranks. */
+    void sliceExecuted(std::uint64_t id,
+                       const std::vector<unsigned> &ranks, Cycle begin,
+                       Cycle end);
+
+    void jobPreempted(std::uint64_t id, Cycle at);
+
+    /** Terminal transition; journals a "cancel" event when cancelled. */
+    void jobFinished(std::uint64_t id, const char *state,
+                     unsigned preemptions, Cycle at);
+
+    void cacheEvicted(const char *plan_kind, std::uint64_t bytes,
+                      Cycle at);
+
+    void windowRollover(std::uint64_t index, Cycle at);
+
+    // --- sinks ---
+
+    const obs::EventJournal &journal() const { return journal_; }
+    const obs::Tracer &tracer() const { return tracer_; }
+
+    /** Serialize the job-span trace as Chrome trace-event JSON. */
+    void writeTrace(std::ostream &os) const
+    {
+        tracer_.writeChromeTrace(os);
+    }
+
+  private:
+    struct JobInfo
+    {
+        std::string tenant;
+        std::string label;       ///< "j<id> <tenant>/<kernel> hit|miss"
+        std::uint32_t name = 0;  ///< interned label
+    };
+
+    obs::TraceShard &shard() { return *tracer_.shard(0); }
+
+    obs::Tracer tracer_;
+    obs::EventJournal journal_;
+    std::uint32_t lifecycleTrack_ = 0;
+    std::uint32_t queueTrack_ = 0;
+    std::vector<std::uint32_t> rankTracks_;
+    std::map<std::uint64_t, JobInfo> jobs_;
+};
+
+} // namespace menda::serve
+
+#endif // MENDA_SERVE_OBSERVER_HH

@@ -83,6 +83,7 @@ FrameReader::next(std::string *payload, std::string *error)
                             (b(3) << 24);
     if (n > maxFrame_) {
         poisoned_ = true;
+        badLength_ = n;
         if (error)
             *error = "frame of " + std::to_string(n) +
                      " bytes exceeds the " + std::to_string(maxFrame_) +
@@ -189,7 +190,14 @@ valueVectorFromJson(const obs::json::Value &v)
 obs::json::Value
 errorResponse(const std::string &code, const std::string &message)
 {
-    obs::json::Object o;
+    return errorResponse(code, message, obs::json::Object{});
+}
+
+obs::json::Value
+errorResponse(const std::string &code, const std::string &message,
+              obs::json::Object details)
+{
+    obs::json::Object o = std::move(details);
     o["schema"] = obs::json::Value(kSchema);
     o["type"] = obs::json::Value("error");
     o["code"] = obs::json::Value(code);

@@ -63,10 +63,21 @@ class FrameReader
     /** Bytes buffered but not yet consumed (truncated-frame detection). */
     std::size_t pendingBytes() const { return buf_.size(); }
 
+    /** The negotiated per-frame payload ceiling. */
+    std::uint32_t maxFrameBytes() const { return maxFrame_; }
+
+    /**
+     * The length prefix that poisoned the stream (0 while healthy) —
+     * surfaced in the typed "badFrame" error payload so the client can
+     * tell an oversized submit from a corrupted prefix.
+     */
+    std::uint32_t badFrameLength() const { return badLength_; }
+
   private:
     std::uint32_t maxFrame_;
     std::string buf_;
     bool poisoned_ = false;
+    std::uint32_t badLength_ = 0;
 };
 
 // --- JSON codecs (throw std::runtime_error on malformed input) ---
@@ -83,6 +94,15 @@ std::vector<Value> valueVectorFromJson(const obs::json::Value &v);
 /** Build a typed error response (code e.g. "queueFull", "badRequest"). */
 obs::json::Value errorResponse(const std::string &code,
                                const std::string &message);
+
+/**
+ * Error response with machine-readable context merged in next to
+ * code/message (e.g. "badFrame" carries frameLength + maxFrameBytes).
+ * @p details must not use the reserved envelope keys.
+ */
+obs::json::Value errorResponse(const std::string &code,
+                               const std::string &message,
+                               obs::json::Object details);
 
 /** True iff @p v is an error response; fills code/message if non-null. */
 bool isError(const obs::json::Value &v, std::string *code = nullptr,

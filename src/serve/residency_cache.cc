@@ -70,6 +70,8 @@ ResidencyCache::evictToBudget()
     // LRU: drop the least-recently-used entry until within budget. An
     // entry larger than the whole budget is dropped too — the caller's
     // shared_ptr keeps the in-flight plan alive; we just don't retain.
+    static const char *const kind_names[] = {"transpose", "spmv",
+                                             "spgemm"};
     while (stats_.residentBytes > budgetBytes_ && !entries_.empty()) {
         auto lru = entries_.begin();
         for (auto it = std::next(entries_.begin()); it != entries_.end();
@@ -78,6 +80,9 @@ ResidencyCache::evictToBudget()
                 lru = it;
         stats_.residentBytes -= lru->second.bytes;
         ++stats_.evictions;
+        if (evictionHook_)
+            evictionHook_(kind_names[lru->first.kind],
+                          lru->second.bytes);
         entries_.erase(lru);
     }
     stats_.entries = entries_.size();

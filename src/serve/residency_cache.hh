@@ -20,6 +20,7 @@
 #define MENDA_SERVE_RESIDENCY_CACHE_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <tuple>
@@ -67,6 +68,16 @@ class ResidencyCache
     const CacheStats &stats() const { return stats_; }
     std::uint64_t budgetBytes() const { return budgetBytes_; }
 
+    /** Eviction notification: (plan kind name, resident bytes freed). */
+    using EvictionHook =
+        std::function<void(const char *, std::uint64_t)>;
+
+    /** Observe every LRU eviction (journal feed); pass {} to clear. */
+    void setEvictionHook(EvictionHook hook)
+    {
+        evictionHook_ = std::move(hook);
+    }
+
   private:
     struct Key
     {
@@ -102,6 +113,7 @@ class ResidencyCache
     std::uint64_t tick_ = 0; ///< LRU clock
     std::map<Key, Entry> entries_;
     CacheStats stats_;
+    EvictionHook evictionHook_;
 };
 
 } // namespace menda::serve

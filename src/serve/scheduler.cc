@@ -30,6 +30,26 @@ RankScheduler::pick(const std::vector<Runnable> &runnable)
     std::vector<std::uint64_t> picked;
     unsigned free_ranks = machineRanks_;
 
+    // A job picked last round that is still runnable but misses this
+    // round's pick was preempted — it lost its ranks mid-kernel.
+    // Computed on exit so both policies report through one accessor
+    // (Fifo re-picks every hold, so its list is always empty).
+    const auto noteRound = [&](const std::vector<std::uint64_t> &now) {
+        preempted_.clear();
+        for (std::uint64_t id : lastPicked_) {
+            const bool still_runnable =
+                std::find_if(runnable.begin(), runnable.end(),
+                             [id](const Runnable &r) {
+                                 return r.id == id;
+                             }) != runnable.end();
+            const bool repicked =
+                std::find(now.begin(), now.end(), id) != now.end();
+            if (still_runnable && !repicked)
+                preempted_.push_back(id);
+        }
+        lastPicked_ = now;
+    };
+
     if (policy_ == SchedPolicy::Fifo) {
         // Holds persist: drop holds whose job disappeared, keep the
         // rest, then admit from the head of the queue in strict order —
@@ -55,13 +75,16 @@ RankScheduler::pick(const std::vector<Runnable> &runnable)
             picked.push_back(r.id);
             held_.push_back(r.id);
         }
+        noteRound(picked);
         return picked;
     }
 
     // Fair: rotate the scan origin so every runnable job gets slices at
     // the same long-run rate; skip jobs that don't fit this round.
-    if (runnable.empty())
+    if (runnable.empty()) {
+        noteRound(picked);
         return picked;
+    }
     const std::size_t n = runnable.size();
     const std::size_t origin = static_cast<std::size_t>(rotate_ % n);
     ++rotate_;
@@ -72,6 +95,7 @@ RankScheduler::pick(const std::vector<Runnable> &runnable)
         free_ranks -= r.ranks;
         picked.push_back(r.id);
     }
+    noteRound(picked);
     return picked;
 }
 

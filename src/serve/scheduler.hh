@@ -62,6 +62,16 @@ class RankScheduler
     /** Release a finished (or cancelled) job's rank hold. */
     void finished(std::uint64_t id);
 
+    /**
+     * Jobs preempted by the most recent pick(): picked last round,
+     * still runnable, but not picked this round — they lost their
+     * ranks mid-kernel. Always empty under Fifo (run-to-completion).
+     */
+    const std::vector<std::uint64_t> &preempted() const
+    {
+        return preempted_;
+    }
+
     SchedPolicy policy() const { return policy_; }
     unsigned machineRanks() const { return machineRanks_; }
 
@@ -70,6 +80,8 @@ class RankScheduler
     SchedPolicy policy_;
     std::vector<std::uint64_t> held_; ///< Fifo: running, holding ranks
     std::uint64_t rotate_ = 0;        ///< Fair: scan origin
+    std::vector<std::uint64_t> lastPicked_;
+    std::vector<std::uint64_t> preempted_;
 };
 
 } // namespace menda::serve

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
 
 #include "common/log.hh"
@@ -85,6 +86,20 @@ ServeCore::ServeCore(const ServeConfig &config)
 {
     menda_assert(config_.system.totalPus() > 0, "machine needs ranks");
     menda_assert(config_.sliceCycles > 0, "sliceCycles must be > 0");
+    const unsigned ranks = config_.system.totalPus();
+    rankBusy_.assign(ranks, 0);
+    rankHeld_.assign(ranks, false);
+    if (config_.observability) {
+        ServeObserver::Options obs_options;
+        obs_options.traceCapacity = config_.traceCapacity;
+        obs_options.journalCapacity = config_.journalCapacity;
+        observer_ = std::make_unique<ServeObserver>(
+            ranks, config_.system.pu.freqMhz, obs_options);
+        cache_.setEvictionHook(
+            [this](const char *kind, std::uint64_t bytes) {
+                observer_->cacheEvicted(kind, bytes, virtualCycle_);
+            });
+    }
 }
 
 ServeCore::~ServeCore() = default;
@@ -109,6 +124,10 @@ ServeCore::handle(const json::Value &request, std::uint64_t owner)
         return handleStatus(request);
     if (type == "stats")
         return statsJson();
+    if (type == "metrics")
+        return handleMetrics(request);
+    if (type == "stats.stream")
+        return handleStatsStream(request);
     if (type == "shutdown") {
         shutdown_ = true;
         json::Object o;
@@ -136,6 +155,9 @@ ServeCore::handleSubmit(const json::Value &request, std::uint64_t owner)
     if (queuedCount() >= config_.queueDepth) {
         ++rejectedTotal_;
         ++tenants_[tenant].rejected;
+        if (observer_)
+            observer_->admissionRejected(tenant, "queueFull",
+                                         virtualCycle_);
         return errorResponse("queueFull",
                              "queue depth " +
                                  std::to_string(config_.queueDepth) +
@@ -144,6 +166,9 @@ ServeCore::handleSubmit(const json::Value &request, std::uint64_t owner)
     if (inFlightOf(tenant) >= config_.tenantInFlight) {
         ++rejectedTotal_;
         ++tenants_[tenant].rejected;
+        if (observer_)
+            observer_->admissionRejected(tenant, "tenantBusy",
+                                         virtualCycle_);
         return errorResponse(
             "tenantBusy", "tenant '" + tenant + "' already has " +
                               std::to_string(config_.tenantInFlight) +
@@ -167,14 +192,16 @@ ServeCore::handleSubmit(const json::Value &request, std::uint64_t owner)
         job.ranks = 1;
 
     // The per-job machine: a rank subset of the shared pool. Fidelity
-    // and the ablation/sampling knobs come from the daemon's config;
-    // interleaved execution requires hostThreads == 1 per job (the
-    // daemon itself is the concurrency layer).
+    // and the ablation/sampling knobs come from the daemon's config.
+    // hostThreads is inherited: sliced (detailed) execution steps
+    // shards sequentially regardless, and fast tiers run their batch
+    // semantics through the PR-1 thread pool, which is bit-identical
+    // to sequential — so every observable byte (results, journal,
+    // traces, metrics) is independent of the daemon's --threads.
     job.config = config_.system;
     job.config.channels = 1;
     job.config.dimmsPerChannel = 1;
     job.config.ranksPerDimm = job.ranks;
-    job.config.hostThreads = 1;
     job.config.progressEveryCycles = 0;
     if (request.has("simMode")) {
         if (!request.at("simMode").isString() ||
@@ -226,6 +253,9 @@ ServeCore::handleSubmit(const json::Value &request, std::uint64_t owner)
     const std::uint64_t id = job.id;
     const bool cacheHit = job.cacheHit;
     const unsigned jobRanks = job.ranks;
+    if (observer_)
+        observer_->jobSubmitted(id, job.tenant, kernelName(job.kind),
+                                jobRanks, cacheHit, virtualCycle_);
     order_.push_back(job.id);
     jobs_.emplace(job.id, std::move(job));
 
@@ -291,8 +321,28 @@ ServeCore::pump()
 
     const Cycle roundStart = virtualCycle_;
     const std::vector<std::uint64_t> picked = scheduler_.pick(runnable);
+
+    // Preemptions are an observation of the pick, not an input to it:
+    // a job that ran last round, is still runnable, and was skipped
+    // lost its ranks mid-kernel (fair only; fifo never preempts).
+    for (std::uint64_t id : scheduler_.preempted()) {
+        Job &job = jobs_.at(id);
+        ++job.preemptions;
+        ++preemptionsTotal_;
+        job.assignedRanks.clear();
+        if (observer_)
+            observer_->jobPreempted(id, roundStart);
+    }
+
+    assignRanks(picked);
+
     for (std::uint64_t id : picked) {
         Job &job = jobs_.at(id);
+        for (unsigned r : job.assignedRanks)
+            rankBusy_[r] += config_.sliceCycles;
+        if (observer_)
+            observer_->sliceExecuted(id, job.assignedRanks, roundStart,
+                                     roundStart + config_.sliceCycles);
         try {
             if (job.state == JobState::Queued) {
                 job.startCycle = roundStart;
@@ -314,6 +364,64 @@ ServeCore::pump()
         }
     }
     virtualCycle_ = roundStart + config_.sliceCycles;
+    rollWindowsTo(virtualCycle_);
+}
+
+void
+ServeCore::assignRanks(const std::vector<std::uint64_t> &picked)
+{
+    if (config_.policy == SchedPolicy::Fair) {
+        // Nothing persists between rounds: relabel in pick order from
+        // rank 0. The scheduler guaranteed the total fits the machine.
+        unsigned next = 0;
+        for (std::uint64_t id : picked) {
+            Job &job = jobs_.at(id);
+            job.assignedRanks.clear();
+            for (unsigned k = 0; k < job.ranks; ++k)
+                job.assignedRanks.push_back(next++);
+        }
+        return;
+    }
+    // Fifo: a job keeps its ranks until it finishes, so assign the
+    // lowest free ranks at first pick (the free set can fragment as
+    // earlier jobs finish) and release them in finishJob().
+    for (std::uint64_t id : picked) {
+        Job &job = jobs_.at(id);
+        if (!job.assignedRanks.empty())
+            continue;
+        for (unsigned r = 0;
+             r < rankHeld_.size() &&
+             job.assignedRanks.size() < job.ranks;
+             ++r) {
+            if (rankHeld_[r])
+                continue;
+            rankHeld_[r] = true;
+            job.assignedRanks.push_back(r);
+        }
+        menda_assert(job.assignedRanks.size() == job.ranks,
+                     "fifo rank bookkeeping out of sync");
+    }
+}
+
+void
+ServeCore::rollWindowsTo(Cycle now)
+{
+    if (config_.windowCycles == 0)
+        return;
+    while ((windowIndex_ + 1) * config_.windowCycles <= now) {
+        ++windowIndex_;
+        for (auto &[name, t] : tenants_) {
+            (void)name;
+            t.prevQueueWait = t.windowQueueWait;
+            t.prevTotal = t.windowTotal;
+            t.windowQueueWait.reset();
+            t.windowTotal.reset();
+        }
+        if (observer_)
+            observer_->windowRollover(windowIndex_,
+                                      windowIndex_ *
+                                          config_.windowCycles);
+    }
 }
 
 void
@@ -327,6 +435,9 @@ void
 ServeCore::dispatch(Job &job)
 {
     job.state = JobState::Running;
+    if (observer_)
+        observer_->jobDispatched(job.id, job.submitCycle,
+                                 job.startCycle);
     switch (job.kind) {
       case core::KernelJob::Kind::Transpose:
         job.kernel = std::make_unique<core::KernelJob>(
@@ -376,6 +487,8 @@ ServeCore::complete(Job &job)
     t.total.push_back(total);
     t.queueWaitHist.record(wait);
     t.totalHist.record(total);
+    t.windowQueueWait.record(wait);
+    t.windowTotal.record(total);
     finishJob(job, JobState::Done);
 }
 
@@ -387,6 +500,13 @@ ServeCore::finishJob(Job &job, JobState state)
         job.doneCycle = virtualCycle_;
     if (state == JobState::Failed)
         ++tenants_[job.tenant].failed;
+    tenants_[job.tenant].preemptions += job.preemptions;
+    for (unsigned r : job.assignedRanks)
+        rankHeld_[r] = false; // no-op under fair (nothing is held)
+    job.assignedRanks.clear();
+    if (observer_)
+        observer_->jobFinished(job.id, jobStateName(state),
+                               job.preemptions, job.doneCycle);
     job.kernel.reset(); // release the simulated components immediately
     scheduler_.finished(job.id);
     order_.erase(std::remove(order_.begin(), order_.end(), job.id),
@@ -534,12 +654,15 @@ ServeCore::statsJson() const
     cache["hitRatePct"] = json::Value(c.hitRatePct());
     o["cache"] = json::Value(std::move(cache));
 
+    o["preemptions"] = json::Value(preemptionsTotal_);
+
     json::Object tenants;
     for (const auto &[name, t] : tenants_) {
         json::Object to;
         to["completed"] = json::Value(t.completed);
         to["failed"] = json::Value(t.failed);
         to["rejected"] = json::Value(t.rejected);
+        to["preemptions"] = json::Value(t.preemptions);
         to["inFlight"] = json::Value(std::uint64_t(inFlightOf(name)));
         to["queueWaitCycles"] = latencySummary(t.queueWait);
         to["totalCycles"] = latencySummary(t.total);
@@ -547,6 +670,273 @@ ServeCore::statsJson() const
     }
     o["tenants"] = json::Value(std::move(tenants));
     return json::Value(std::move(o));
+}
+
+obs::json::Value
+ServeCore::handleMetrics(const json::Value &request) const
+{
+    json::Object o;
+    o["type"] = json::Value("metrics");
+    o["schema"] = json::Value(kSchema);
+    o["virtualCycle"] = json::Value(virtualCycle_);
+    const bool prometheus =
+        request.has("format") && request.at("format").isString() &&
+        request.at("format").asString() == "prometheus";
+    if (prometheus)
+        o["text"] = json::Value(prometheusText());
+    else
+        o["families"] = obs::metricsToJson(metricFamilies());
+    return json::Value(std::move(o));
+}
+
+obs::json::Value
+ServeCore::handleStatsStream(const json::Value &request) const
+{
+    std::uint64_t from_seq = 0;
+    if (request.has("afterSeq")) {
+        if (!request.at("afterSeq").isNumber() ||
+            request.at("afterSeq").asNumber() < 0)
+            return errorResponse("badRequest",
+                                 "afterSeq must be a non-negative "
+                                 "number");
+        from_seq = static_cast<std::uint64_t>(
+            request.at("afterSeq").asNumber());
+    }
+    json::Object o;
+    o["type"] = json::Value("journal");
+    o["schema"] = json::Value(kSchema);
+    if (observer_) {
+        const obs::EventJournal &journal = observer_->journal();
+        o["nextSeq"] = json::Value(journal.emitted());
+        o["dropped"] = json::Value(journal.droppedEvents());
+        o["jsonl"] = json::Value(journal.jsonlSince(from_seq));
+    } else {
+        o["nextSeq"] = json::Value(std::uint64_t(0));
+        o["dropped"] = json::Value(std::uint64_t(0));
+        o["jsonl"] = json::Value("");
+    }
+    return json::Value(std::move(o));
+}
+
+std::string
+ServeCore::journalJsonl() const
+{
+    return observer_ ? observer_->journal().jsonl() : std::string();
+}
+
+std::string
+ServeCore::jobTraceJson() const
+{
+    if (!observer_)
+        return {};
+    std::ostringstream os;
+    observer_->writeTrace(os);
+    return os.str();
+}
+
+std::string
+ServeCore::prometheusText() const
+{
+    return obs::renderPrometheus(metricFamilies());
+}
+
+std::vector<obs::MetricFamily>
+ServeCore::metricFamilies() const
+{
+    using obs::MetricFamily;
+    std::vector<MetricFamily> families;
+    const auto counter = [&](const char *name,
+                             const char *help) -> MetricFamily & {
+        MetricFamily family;
+        family.name = name;
+        family.help = help;
+        family.type = MetricFamily::Type::Counter;
+        families.push_back(std::move(family));
+        return families.back();
+    };
+    const auto gauge = [&](const char *name,
+                           const char *help) -> MetricFamily & {
+        MetricFamily family;
+        family.name = name;
+        family.help = help;
+        family.type = MetricFamily::Type::Gauge;
+        families.push_back(std::move(family));
+        return families.back();
+    };
+
+    obs::addSample(counter("menda_serve_virtual_cycles",
+                           "Virtual PU-cycle clock of the daemon"),
+                   static_cast<double>(virtualCycle_));
+
+    std::uint64_t queued = 0, running = 0;
+    for (std::uint64_t id : order_) {
+        const Job &job = jobs_.at(id);
+        if (job.state == JobState::Queued)
+            ++queued;
+        else if (job.state == JobState::Running)
+            ++running;
+    }
+    std::uint64_t completed = 0, failed = 0, cancelled = 0;
+    for (const auto &[id, job] : jobs_) {
+        (void)id;
+        if (job.state == JobState::Done)
+            ++completed;
+        else if (job.state == JobState::Failed)
+            ++failed;
+        else if (job.state == JobState::Cancelled)
+            ++cancelled;
+    }
+    {
+        MetricFamily &family =
+            counter("menda_serve_jobs_total",
+                    "Jobs by terminal state (rejected = never admitted)");
+        obs::addSample(family, static_cast<double>(completed),
+                       {{"state", "completed"}});
+        obs::addSample(family, static_cast<double>(failed),
+                       {{"state", "failed"}});
+        obs::addSample(family, static_cast<double>(cancelled),
+                       {{"state", "cancelled"}});
+        obs::addSample(family, static_cast<double>(rejectedTotal_),
+                       {{"state", "rejected"}});
+    }
+    {
+        MetricFamily &family = gauge("menda_serve_queue_depth",
+                                     "Live jobs by state");
+        obs::addSample(family, static_cast<double>(queued),
+                       {{"state", "queued"}});
+        obs::addSample(family, static_cast<double>(running),
+                       {{"state", "running"}});
+    }
+    obs::addSample(counter("menda_serve_preemptions_total",
+                           "Fair-scheduler preemptions (jobs that lost "
+                           "their ranks mid-kernel)"),
+                   static_cast<double>(preemptionsTotal_));
+
+    const CacheStats &c = cache_.stats();
+    {
+        MetricFamily &family =
+            counter("menda_serve_cache_events_total",
+                    "Residency-cache lookups and evictions");
+        obs::addSample(family, static_cast<double>(c.hits),
+                       {{"event", "hit"}});
+        obs::addSample(family, static_cast<double>(c.misses),
+                       {{"event", "miss"}});
+        obs::addSample(family, static_cast<double>(c.evictions),
+                       {{"event", "eviction"}});
+    }
+    obs::addSample(gauge("menda_serve_cache_hit_rate_pct",
+                         "Residency-cache hit rate, percent"),
+                   c.hitRatePct());
+    obs::addSample(gauge("menda_serve_cache_resident_bytes",
+                         "Simulated bytes held by cached plans"),
+                   static_cast<double>(c.residentBytes));
+
+    {
+        MetricFamily &busy =
+            counter("menda_serve_rank_busy_cycles",
+                    "Virtual cycles each DRAM rank spent executing "
+                    "job slices");
+        MetricFamily util;
+        util.name = "menda_serve_rank_utilization";
+        util.help = "Busy fraction of the virtual clock per rank";
+        util.type = MetricFamily::Type::Gauge;
+        for (std::size_t r = 0; r < rankBusy_.size(); ++r) {
+            obs::addSample(busy, static_cast<double>(rankBusy_[r]),
+                           {{"rank", std::to_string(r)}});
+            obs::addSample(
+                util,
+                virtualCycle_ ? static_cast<double>(rankBusy_[r]) /
+                                    static_cast<double>(virtualCycle_)
+                              : 0.0,
+                {{"rank", std::to_string(r)}});
+        }
+        families.push_back(std::move(util));
+    }
+
+    // Per-tenant: lifetime counters plus rolling-window percentiles
+    // (last completed SLO window merged with the current partial one,
+    // estimated from the mergeable log-2 histograms).
+    MetricFamily tenant_jobs;
+    tenant_jobs.name = "menda_serve_tenant_jobs_total";
+    tenant_jobs.help = "Per-tenant jobs by outcome";
+    tenant_jobs.type = MetricFamily::Type::Counter;
+    MetricFamily tenant_preempt;
+    tenant_preempt.name = "menda_serve_tenant_preemptions_total";
+    tenant_preempt.help = "Preemptions suffered by finished jobs";
+    tenant_preempt.type = MetricFamily::Type::Counter;
+    MetricFamily tenant_inflight;
+    tenant_inflight.name = "menda_serve_tenant_inflight";
+    tenant_inflight.help = "Queued + running jobs per tenant";
+    tenant_inflight.type = MetricFamily::Type::Gauge;
+    MetricFamily queue_wait;
+    queue_wait.name = "menda_serve_queue_wait_cycles";
+    queue_wait.help = "Rolling-window queue-wait quantiles, virtual "
+                      "cycles";
+    queue_wait.type = MetricFamily::Type::Gauge;
+    MetricFamily completion;
+    completion.name = "menda_serve_completion_cycles";
+    completion.help = "Rolling-window submit-to-completion quantiles, "
+                      "virtual cycles";
+    completion.type = MetricFamily::Type::Gauge;
+    MetricFamily window_jobs;
+    window_jobs.name = "menda_serve_window_completed";
+    window_jobs.help = "Completions inside the rolling window";
+    window_jobs.type = MetricFamily::Type::Gauge;
+
+    static const char *const kQuantiles[] = {"0.5", "0.95", "0.99"};
+    static const double kQ[] = {0.5, 0.95, 0.99};
+    for (const auto &[name, t] : tenants_) {
+        obs::addSample(tenant_jobs, static_cast<double>(t.completed),
+                       {{"state", "completed"}, {"tenant", name}});
+        obs::addSample(tenant_jobs, static_cast<double>(t.failed),
+                       {{"state", "failed"}, {"tenant", name}});
+        obs::addSample(tenant_jobs, static_cast<double>(t.rejected),
+                       {{"state", "rejected"}, {"tenant", name}});
+        obs::addSample(tenant_preempt,
+                       static_cast<double>(t.preemptions),
+                       {{"tenant", name}});
+        obs::addSample(tenant_inflight,
+                       static_cast<double>(inFlightOf(name)),
+                       {{"tenant", name}});
+
+        Histogram rolling_wait = t.prevQueueWait;
+        rolling_wait.merge(t.windowQueueWait);
+        Histogram rolling_total = t.prevTotal;
+        rolling_total.merge(t.windowTotal);
+        obs::addSample(window_jobs,
+                       static_cast<double>(rolling_total.count()),
+                       {{"tenant", name}});
+        if (rolling_total.count() == 0)
+            continue; // no quantiles without samples in the window
+        for (unsigned q = 0; q < 3; ++q) {
+            obs::addSample(queue_wait, rolling_wait.quantile(kQ[q]),
+                           {{"quantile", kQuantiles[q]},
+                            {"tenant", name}});
+            obs::addSample(completion, rolling_total.quantile(kQ[q]),
+                           {{"quantile", kQuantiles[q]},
+                            {"tenant", name}});
+        }
+    }
+    families.push_back(std::move(tenant_jobs));
+    families.push_back(std::move(tenant_preempt));
+    families.push_back(std::move(tenant_inflight));
+    families.push_back(std::move(window_jobs));
+    families.push_back(std::move(queue_wait));
+    families.push_back(std::move(completion));
+
+    if (observer_) {
+        const obs::EventJournal &journal = observer_->journal();
+        MetricFamily &family =
+            counter("menda_serve_journal_events_total",
+                    "Journal events emitted / overwritten");
+        obs::addSample(family,
+                       static_cast<double>(journal.emitted()),
+                       {{"event", "emitted"}});
+        obs::addSample(family,
+                       static_cast<double>(journal.droppedEvents()),
+                       {{"event", "dropped"}});
+    }
+    return families;
 }
 
 obs::RunReport
@@ -573,6 +963,16 @@ ServeCore::metricsReport() const
     report.setMetric("jobsCancelled", static_cast<double>(cancelled));
     report.setMetric("jobsRejected",
                      static_cast<double>(rejectedTotal_));
+    report.setMetric("preemptions",
+                     static_cast<double>(preemptionsTotal_));
+    if (virtualCycle_ > 0) {
+        double busy = 0.0;
+        for (Cycle cycles : rankBusy_)
+            busy += static_cast<double>(cycles);
+        report.setMetric("rankUtilization",
+                         busy / (static_cast<double>(virtualCycle_) *
+                                 static_cast<double>(rankBusy_.size())));
+    }
 
     const CacheStats &c = cache_.stats();
     report.setMetric("cacheHits", static_cast<double>(c.hits));
@@ -590,8 +990,15 @@ ServeCore::metricsReport() const
         report.setMetric(prefix + "queueWaitP95",
                          static_cast<double>(
                              percentile(t.queueWait, 95.0)));
+        report.setMetric(prefix + "queueWaitP99",
+                         static_cast<double>(
+                             percentile(t.queueWait, 99.0)));
         report.setMetric(prefix + "totalP95",
                          static_cast<double>(percentile(t.total, 95.0)));
+        report.setMetric(prefix + "totalP99",
+                         static_cast<double>(percentile(t.total, 99.0)));
+        report.setMetric(prefix + "preemptions",
+                         static_cast<double>(t.preemptions));
         report.addHistogram(prefix + "queueWait", t.queueWaitHist);
         report.addHistogram(prefix + "total", t.totalHist);
     }

@@ -32,7 +32,9 @@
 
 #include "common/stats.hh"
 #include "menda/job.hh"
+#include "obs/metrics.hh"
 #include "obs/report.hh"
+#include "serve/observer.hh"
 #include "serve/protocol.hh"
 #include "serve/residency_cache.hh"
 #include "serve/scheduler.hh"
@@ -62,6 +64,25 @@ struct ServeConfig
     std::uint64_t cacheBudgetBytes = 256ull << 20;
 
     SchedPolicy policy = SchedPolicy::Fair;
+
+    /**
+     * Virtual cycles per SLO window. Rolling per-tenant percentiles
+     * (metrics verb) cover the last completed window plus the current
+     * partial one; each rollover is journaled. 0 disables windows
+     * (rolling percentiles then cover the whole run).
+     */
+    Cycle windowCycles = 1'000'000;
+
+    /**
+     * Job-span tracing + event journal (DESIGN.md §14). On by default;
+     * the serve benchmark A/Bs this flag to bound the overhead. Must
+     * never change scheduling: the virtual-cycle schedule is identical
+     * either way.
+     */
+    bool observability = true;
+
+    std::size_t traceCapacity = 1 << 16; ///< job-span ring, events
+    std::size_t journalCapacity = 4096;  ///< journal ring, events
 };
 
 enum class JobState : std::uint8_t
@@ -115,9 +136,29 @@ class ServeCore
     /** Metrics snapshot as a menda.runReport/1 (CI artifact). */
     obs::RunReport metricsReport() const;
 
+    /**
+     * Current metric families (rolling per-tenant percentiles, cache,
+     * rank utilization, preemptions) — the "metrics" verb body, also
+     * renderable as Prometheus text via obs::renderPrometheus().
+     */
+    std::vector<obs::MetricFamily> metricFamilies() const;
+
+    /** Prometheus text exposition of metricFamilies(). */
+    std::string prometheusText() const;
+
+    /** Observability sinks; null/empty when config.observability off. */
+    const ServeObserver *observer() const { return observer_.get(); }
+
+    /** Journal as JSONL ("" when observability is off). */
+    std::string journalJsonl() const;
+
+    /** Job-span Chrome trace JSON ("" when observability is off). */
+    std::string jobTraceJson() const;
+
     const ServeConfig &config() const { return config_; }
     const CacheStats &cacheStats() const { return cache_.stats(); }
     Cycle virtualCycle() const { return virtualCycle_; }
+    std::uint64_t preemptions() const { return preemptionsTotal_; }
 
   private:
     struct Job
@@ -142,6 +183,10 @@ class ServeCore
 
         JobState state = JobState::Queued;
         Cycle submitCycle = 0, startCycle = 0, doneCycle = 0;
+        unsigned preemptions = 0;
+        /** Concrete ranks occupied this round (fair reassigns every
+         *  round; fifo holds them until completion). */
+        std::vector<unsigned> assignedRanks;
 
         obs::json::Value result; ///< outputs + report once Done
         std::string error;      ///< reason once Failed
@@ -152,15 +197,23 @@ class ServeCore
         std::uint64_t completed = 0;
         std::uint64_t failed = 0;
         std::uint64_t rejected = 0;
+        std::uint64_t preemptions = 0; ///< of finished jobs
         std::vector<std::uint64_t> queueWait; ///< cycles, per job
         std::vector<std::uint64_t> total;     ///< queue-to-completion
         Histogram queueWaitHist;
         Histogram totalHist;
+        // Rolling SLO windows: current partial window + the last
+        // completed one; the metrics verb reports their merge.
+        Histogram windowQueueWait, windowTotal;
+        Histogram prevQueueWait, prevTotal;
     };
 
     obs::json::Value handleSubmit(const obs::json::Value &request,
                                   std::uint64_t owner);
     obs::json::Value handleStatus(const obs::json::Value &request) const;
+    obs::json::Value handleMetrics(const obs::json::Value &request) const;
+    obs::json::Value handleStatsStream(
+        const obs::json::Value &request) const;
 
     unsigned inFlightOf(const std::string &tenant) const;
     std::size_t queuedCount() const;
@@ -169,10 +222,15 @@ class ServeCore
     void complete(Job &job);      ///< Running -> Done (build result)
     void finishJob(Job &job, JobState state);
     obs::json::Value buildResult(Job &job);
+    /** Label this round's picked jobs with concrete rank ids. */
+    void assignRanks(const std::vector<std::uint64_t> &picked);
+    /** Roll SLO windows past @p now (journals each rollover). */
+    void rollWindowsTo(Cycle now);
 
     ServeConfig config_;
     ResidencyCache cache_;
     RankScheduler scheduler_;
+    std::unique_ptr<ServeObserver> observer_; ///< null when disabled
     Cycle virtualCycle_ = 0;
     std::uint64_t nextJobId_ = 1;
     std::map<std::uint64_t, Job> jobs_;
@@ -180,6 +238,10 @@ class ServeCore
     std::vector<std::uint64_t> finished_; ///< for drainFinished()
     std::map<std::string, TenantStats> tenants_;
     std::uint64_t rejectedTotal_ = 0;
+    std::uint64_t preemptionsTotal_ = 0;
+    std::uint64_t windowIndex_ = 0;
+    std::vector<Cycle> rankBusy_;  ///< per-rank busy virtual cycles
+    std::vector<bool> rankHeld_;   ///< fifo: rank held by a running job
     bool shutdown_ = false;
 };
 

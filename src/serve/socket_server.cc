@@ -208,9 +208,17 @@ SocketServer::readConn(Conn &conn)
             break;
         if (status == FrameReader::Status::Error) {
             // Framing is unrecoverable: answer once, then close after
-            // the error response drains.
+            // the error response drains. The offending length rides in
+            // the payload so the client can tell an oversized request
+            // from a corrupted prefix.
+            json::Object detail;
+            detail["frameLength"] = json::Value(
+                std::uint64_t(conn.reader.badFrameLength()));
+            detail["maxFrameBytes"] = json::Value(
+                std::uint64_t(conn.reader.maxFrameBytes()));
             conn.outbuf += encodeFrame(
-                errorResponse("badFrame", error).serialize());
+                errorResponse("badFrame", error, std::move(detail))
+                    .serialize());
             conn.closing = true;
             break;
         }

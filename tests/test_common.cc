@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "common/config.hh"
@@ -205,6 +207,121 @@ TEST(Histogram, MergeIsBucketwiseExact)
     a.merge(empty);
     EXPECT_EQ(a.min(), 0u);
     EXPECT_EQ(a.count(), 4u);
+}
+
+namespace
+{
+
+/** Exact nearest-rank quantile over the raw samples (the reference the
+ *  bucketed estimate is tested against). */
+std::uint64_t
+exactQuantile(std::vector<std::uint64_t> samples, double q)
+{
+    std::sort(samples.begin(), samples.end());
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(samples.size())));
+    rank = std::min(std::max<std::size_t>(rank, 1), samples.size());
+    return samples[rank - 1];
+}
+
+/** The estimate must land inside the value range of the bucket holding
+ *  the exact nearest-rank sample (factor-2 worst case for log-2
+ *  buckets), and inside the recorded [min, max]. */
+void
+expectQuantileWithinBucket(const Histogram &h,
+                           const std::vector<std::uint64_t> &samples,
+                           double q)
+{
+    const std::uint64_t exact = exactQuantile(samples, q);
+    const double estimate = h.quantile(q);
+    const unsigned b = Histogram::bucketOf(exact);
+    const double lo =
+        b == 0 ? 0.0 : static_cast<double>(std::uint64_t(1) << (b - 1));
+    const double hi = b == 0 ? 0.0 : lo * 2.0 - 1.0;
+    EXPECT_GE(estimate, std::max(lo, static_cast<double>(h.min())))
+        << "q=" << q << " exact=" << exact;
+    EXPECT_LE(estimate, std::min(hi, static_cast<double>(h.max())))
+        << "q=" << q << " exact=" << exact;
+}
+
+} // namespace
+
+TEST(Histogram, QuantileDegenerateCasesAreExact)
+{
+    Histogram empty;
+    EXPECT_EQ(empty.quantile(0.5), 0.0);
+
+    // All-equal samples: clamping to [min, max] pins every quantile.
+    Histogram same;
+    for (int i = 0; i < 100; ++i)
+        same.record(37);
+    EXPECT_EQ(same.quantile(0.0), 37.0);
+    EXPECT_EQ(same.quantile(0.5), 37.0);
+    EXPECT_EQ(same.quantile(0.99), 37.0);
+    EXPECT_EQ(same.quantile(1.0), 37.0);
+
+    // All zeros live in bucket 0, which holds exactly the value 0.
+    Histogram zeros;
+    zeros.record(0);
+    zeros.record(0);
+    EXPECT_EQ(zeros.quantile(0.95), 0.0);
+
+    // One sample: every quantile is that sample.
+    Histogram one;
+    one.record(5);
+    EXPECT_EQ(one.quantile(0.01), 5.0);
+    EXPECT_EQ(one.quantile(0.99), 5.0);
+}
+
+TEST(Histogram, QuantileTracksExactReferenceWithinBucketBounds)
+{
+    // Deterministic skewed sample set (latency-shaped: mostly small,
+    // a heavy tail), checked against the exact nearest-rank reference.
+    Rng rng(42);
+    std::vector<std::uint64_t> samples;
+    Histogram h;
+    for (int i = 0; i < 5000; ++i) {
+        std::uint64_t v = 1 + rng.below(64);
+        if (i % 17 == 0)
+            v = 1000 + rng.below(9000);
+        if (i % 97 == 0)
+            v = 100'000 + rng.below(900'000);
+        samples.push_back(v);
+        h.record(v);
+    }
+    for (const double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+        expectQuantileWithinBucket(h, samples, q);
+        const double exact =
+            static_cast<double>(exactQuantile(samples, q));
+        EXPECT_GE(h.quantile(q), exact / 2.0) << "q=" << q;
+        EXPECT_LE(h.quantile(q), exact * 2.0) << "q=" << q;
+    }
+
+    // Quantiles are monotone in q.
+    EXPECT_LE(h.quantile(0.5), h.quantile(0.95));
+    EXPECT_LE(h.quantile(0.95), h.quantile(0.99));
+    EXPECT_LE(h.quantile(0.99), h.quantile(1.0));
+}
+
+TEST(Histogram, QuantileOfMergedShardsMatchesCombinedRecording)
+{
+    // Per-shard histograms merged bucket-wise must estimate the
+    // combined sample set exactly as one histogram would.
+    Rng rng(7);
+    Histogram combined, shard0, shard1;
+    std::vector<std::uint64_t> samples;
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t v = 1 + rng.below(100'000);
+        samples.push_back(v);
+        combined.record(v);
+        (i % 2 ? shard0 : shard1).record(v);
+    }
+    Histogram merged = shard0;
+    merged.merge(shard1);
+    for (const double q : {0.5, 0.95, 0.99}) {
+        EXPECT_EQ(merged.quantile(q), combined.quantile(q));
+        expectQuantileWithinBucket(merged, samples, q);
+    }
 }
 
 TEST(IntervalSampler, SamplesOncePerPeriod)

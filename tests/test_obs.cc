@@ -15,7 +15,9 @@
 
 #include "menda/run_report.hh"
 #include "menda/system.hh"
+#include "obs/journal.hh"
 #include "obs/json.hh"
+#include "obs/metrics.hh"
 #include "obs/report.hh"
 #include "obs/trace.hh"
 
@@ -343,4 +345,95 @@ TEST(ReportDiff, ZeroBaselineToleratesOnlyZero)
     EXPECT_TRUE(diffReports(baseline, current, DiffOptions{}).passed);
     current.setMetric("stalls", 3.0);
     EXPECT_FALSE(diffReports(baseline, current, DiffOptions{}).passed);
+}
+
+// --- event journal -----------------------------------------------------
+
+TEST(Journal, EmitsCanonicalLinesWithMonotoneSeq)
+{
+    EventJournal journal(8);
+    json::Object fields;
+    fields["tenant"] = json::Value("t0");
+    fields["code"] = json::Value("queueFull");
+    journal.emit(1200, "reject", std::move(fields));
+    journal.emit(2400, "window", {});
+
+    EXPECT_EQ(journal.size(), 2u);
+    EXPECT_EQ(journal.emitted(), 2u);
+    EXPECT_EQ(journal.droppedEvents(), 0u);
+    EXPECT_EQ(journal.jsonl(),
+              "{\"code\":\"queueFull\",\"cycle\":1200,\"seq\":0,"
+              "\"tenant\":\"t0\",\"type\":\"reject\"}\n"
+              "{\"cycle\":2400,\"seq\":1,\"type\":\"window\"}\n");
+}
+
+TEST(Journal, RingDropsOldestAndKeepsSeq)
+{
+    EventJournal journal(4);
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        json::Object fields;
+        fields["index"] = json::Value(i);
+        journal.emit(i * 100, "window", std::move(fields));
+    }
+    EXPECT_EQ(journal.size(), 4u);
+    EXPECT_EQ(journal.emitted(), 10u);
+    EXPECT_EQ(journal.droppedEvents(), 6u);
+    EXPECT_EQ(journal.oldestSeq(), 6u);
+    // The surviving lines are the newest four, in emission order.
+    EXPECT_EQ(journal.jsonl().find("\"seq\":6,"), 23u);
+    EXPECT_EQ(journal.jsonlSince(9),
+              "{\"cycle\":900,\"index\":9,\"seq\":9,"
+              "\"type\":\"window\"}\n");
+    EXPECT_TRUE(journal.jsonlSince(10).empty());
+}
+
+// --- metric families ---------------------------------------------------
+
+namespace
+{
+
+std::vector<MetricFamily>
+sampleFamilies()
+{
+    std::vector<MetricFamily> families;
+    MetricFamily jobs;
+    jobs.name = "menda_jobs_total";
+    jobs.help = "Jobs by state";
+    jobs.type = MetricFamily::Type::Counter;
+    addSample(jobs, 41, {{"state", "completed"}});
+    addSample(jobs, 1, {{"state", "failed"}});
+    families.push_back(std::move(jobs));
+    MetricFamily wait;
+    wait.name = "menda_queue_wait_cycles";
+    wait.type = MetricFamily::Type::Gauge;
+    addSample(wait, 1536.5,
+              {{"tenant", "t\"quoted\""}, {"quantile", "0.99"}});
+    families.push_back(std::move(wait));
+    return families;
+}
+
+} // namespace
+
+TEST(Metrics, RendersPrometheusTextExposition)
+{
+    EXPECT_EQ(renderPrometheus(sampleFamilies()),
+              "# HELP menda_jobs_total Jobs by state\n"
+              "# TYPE menda_jobs_total counter\n"
+              "menda_jobs_total{state=\"completed\"} 41\n"
+              "menda_jobs_total{state=\"failed\"} 1\n"
+              "# TYPE menda_queue_wait_cycles gauge\n"
+              "menda_queue_wait_cycles{quantile=\"0.99\","
+              "tenant=\"t\\\"quoted\\\"\"} 1536.5\n");
+}
+
+TEST(Metrics, JsonRoundTripIsLossless)
+{
+    const std::vector<MetricFamily> families = sampleFamilies();
+    const json::Value encoded = metricsToJson(families);
+    const std::vector<MetricFamily> back = metricsFromJson(encoded);
+    ASSERT_EQ(back.size(), families.size());
+    EXPECT_EQ(metricsToJson(back).serialize(), encoded.serialize());
+    EXPECT_EQ(renderPrometheus(back), renderPrometheus(families));
+    EXPECT_THROW(metricsFromJson(json::parse("[{\"bogus\":1}]")),
+                 std::runtime_error);
 }

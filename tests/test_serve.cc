@@ -21,6 +21,7 @@
 
 #include "baselines/spgemm_cpu.hh"
 #include "obs/json.hh"
+#include "obs/metrics.hh"
 #include "serve/protocol.hh"
 #include "serve/serve_core.hh"
 #include "serve/socket_server.hh"
@@ -154,6 +155,8 @@ TEST(FrameReader, OversizedFramePoisonsStream)
     std::string payload, error;
     EXPECT_EQ(reader.next(&payload, &error), FrameReader::Status::Error);
     EXPECT_FALSE(error.empty());
+    EXPECT_EQ(reader.badFrameLength(), 64u);
+    EXPECT_EQ(reader.maxFrameBytes(), 16u);
 
     // Sticky: even a well-formed follow-up frame must not decode.
     const std::string ok = serve::encodeFrame("ok");
@@ -377,6 +380,183 @@ TEST(Scheduler, VirtualLatenciesAreDeterministic)
     EXPECT_EQ(run(), run());
 }
 
+// --- observability -----------------------------------------------------
+
+/** One run's observability artifacts, for byte-level comparison. */
+struct ObsArtifacts
+{
+    std::string journal;
+    std::string trace;
+    std::string prometheus;
+    std::string stats;
+};
+
+/**
+ * A deterministic mixed workload that touches every journal event
+ * type: a tenant-cap rejection, cache evictions under a tiny budget, a
+ * mid-flight cancellation, and several SLO-window rollovers.
+ */
+ObsArtifacts
+observedWorkload(serve::SchedPolicy policy, unsigned host_threads,
+                 bool observability = true)
+{
+    ServeConfig config = smallConfig(2);
+    config.system.hostThreads = host_threads;
+    config.policy = policy;
+    config.tenantInFlight = 2;
+    config.windowCycles = 4'000; // two slices: several rollovers
+    config.cacheBudgetBytes = 1 << 12; // tiny: every plan evicts
+    config.observability = observability;
+    ServeCore core(config);
+
+    const sparse::CsrMatrix small =
+        sparse::generateUniform(24, 24, 160, 5);
+    const sparse::CsrMatrix big =
+        sparse::generateUniform(64, 64, 2048, 6);
+
+    submittedId(core.handle(submitRequest("transpose", big, "t0")));
+    submittedId(core.handle(submitRequest("spmv", small, "t0")));
+    // Third in-flight job for t0 trips the tenant cap -> "reject".
+    EXPECT_EQ(errorCode(core.handle(submitRequest("transpose", small,
+                                                  "t0"))),
+              "tenantBusy");
+    submittedId(core.handle(submitRequest("transpose", small, "t1")));
+    // Owner 5's job is cancelled mid-flight -> "cancel".
+    submittedId(
+        core.handle(submitRequest("spgemm", small, "t1"), /*owner=*/5));
+    core.pump();
+    core.cancelOwner(5);
+    core.runUntilIdle();
+
+    ObsArtifacts artifacts;
+    artifacts.journal = core.journalJsonl();
+    artifacts.trace = core.jobTraceJson();
+    artifacts.prometheus = core.prometheusText();
+    artifacts.stats = core.statsJson().serialize();
+    return artifacts;
+}
+
+TEST(Observability, ArtifactsAreByteIdenticalAcrossThreadsAndReruns)
+{
+    for (const auto policy :
+         {serve::SchedPolicy::Fair, serve::SchedPolicy::Fifo}) {
+        const ObsArtifacts one = observedWorkload(policy, 1);
+        const ObsArtifacts rerun = observedWorkload(policy, 1);
+        const ObsArtifacts threaded = observedWorkload(policy, 4);
+
+        // The workload must actually exercise the journal...
+        EXPECT_NE(one.journal.find("\"type\":\"reject\""),
+                  std::string::npos);
+        EXPECT_NE(one.journal.find("\"type\":\"evict\""),
+                  std::string::npos);
+        EXPECT_NE(one.journal.find("\"type\":\"cancel\""),
+                  std::string::npos);
+        EXPECT_NE(one.journal.find("\"type\":\"window\""),
+                  std::string::npos);
+        EXPECT_FALSE(one.trace.empty());
+
+        // ...and every artifact must be byte-stable across re-runs and
+        // host thread counts (all timestamps are virtual cycles).
+        EXPECT_EQ(one.journal, rerun.journal);
+        EXPECT_EQ(one.trace, rerun.trace);
+        EXPECT_EQ(one.prometheus, rerun.prometheus);
+        EXPECT_EQ(one.stats, rerun.stats);
+        EXPECT_EQ(one.journal, threaded.journal);
+        EXPECT_EQ(one.trace, threaded.trace);
+        EXPECT_EQ(one.prometheus, threaded.prometheus);
+        EXPECT_EQ(one.stats, threaded.stats);
+    }
+}
+
+TEST(Observability, DisablingItNeverChangesTheSchedule)
+{
+    for (const auto policy :
+         {serve::SchedPolicy::Fair, serve::SchedPolicy::Fifo}) {
+        const ObsArtifacts on = observedWorkload(policy, 1, true);
+        const ObsArtifacts off = observedWorkload(policy, 1, false);
+        EXPECT_EQ(on.stats, off.stats);
+        EXPECT_TRUE(off.journal.empty());
+        EXPECT_TRUE(off.trace.empty());
+    }
+}
+
+TEST(Observability, MetricsVerbExposesRollingPercentiles)
+{
+    ServeConfig config = smallConfig(2);
+    config.windowCycles = 10'000;
+    ServeCore core(config);
+    const sparse::CsrMatrix a = sparse::generateUniform(24, 24, 160, 7);
+    for (int i = 0; i < 4; ++i)
+        core.handle(submitRequest("transpose", a, "t0"));
+    core.runUntilIdle();
+
+    const json::Value r =
+        core.handle(json::parse("{\"type\":\"metrics\"}"));
+    ASSERT_EQ(r.at("type").asString(), "metrics");
+    const std::vector<obs::MetricFamily> families =
+        obs::metricsFromJson(r.at("families"));
+
+    bool sawQuantile = false;
+    for (const obs::MetricFamily &family : families) {
+        if (family.name != "menda_serve_queue_wait_cycles")
+            continue;
+        for (const obs::MetricSample &s : family.samples) {
+            EXPECT_EQ(s.labels.at("tenant"), "t0");
+            if (s.labels.at("quantile") == "0.99")
+                sawQuantile = true;
+        }
+    }
+    EXPECT_TRUE(sawQuantile);
+
+    // format=prometheus returns the rendered text instead.
+    const json::Value p = core.handle(json::parse(
+        "{\"type\":\"metrics\",\"format\":\"prometheus\"}"));
+    EXPECT_NE(p.at("text").asString().find(
+                  "menda_serve_queue_wait_cycles{"),
+              std::string::npos);
+    EXPECT_EQ(p.at("text").asString(), core.prometheusText());
+}
+
+TEST(Observability, StatsStreamDrainsIncrementally)
+{
+    ServeConfig config = smallConfig(1);
+    config.tenantInFlight = 1;
+    ServeCore core(config);
+    const sparse::CsrMatrix a = sparse::generateUniform(16, 16, 64, 3);
+
+    submittedId(core.handle(submitRequest("transpose", a, "t0")));
+    EXPECT_EQ(errorCode(core.handle(submitRequest("transpose", a,
+                                                  "t0"))),
+              "tenantBusy");
+
+    const json::Value first = core.handle(
+        json::parse("{\"type\":\"stats.stream\",\"afterSeq\":0}"));
+    ASSERT_EQ(first.at("type").asString(), "journal");
+    EXPECT_EQ(first.at("dropped").asNumber(), 0.0);
+    const std::uint64_t next = static_cast<std::uint64_t>(
+        first.at("nextSeq").asNumber());
+    EXPECT_GE(next, 1u);
+    EXPECT_NE(first.at("jsonl").asString().find("\"type\":\"reject\""),
+              std::string::npos);
+
+    // A drain from the cursor returns nothing new...
+    json::Object q;
+    q["type"] = json::Value("stats.stream");
+    q["afterSeq"] = json::Value(next);
+    const json::Value empty = core.handle(json::Value(q));
+    EXPECT_TRUE(empty.at("jsonl").asString().empty());
+
+    // ...until another event lands; then only the new event comes back.
+    EXPECT_EQ(errorCode(core.handle(submitRequest("transpose", a,
+                                                  "t0"))),
+              "tenantBusy");
+    const json::Value delta = core.handle(json::Value(std::move(q)));
+    const std::string &jsonl = delta.at("jsonl").asString();
+    EXPECT_NE(jsonl.find("\"seq\":" + std::to_string(next)),
+              std::string::npos);
+    EXPECT_EQ(jsonl.find("\"seq\":0,"), std::string::npos);
+}
+
 // --- cancellation ------------------------------------------------------
 
 TEST(Cancel, OwnerDisconnectCancelsOnlyTheirJobs)
@@ -502,6 +682,10 @@ TEST(Socket, OversizedFrameGetsTypedErrorThenClose)
     std::string code;
     ASSERT_TRUE(serve::isError(response, &code));
     EXPECT_EQ(code, "badFrame");
+    // The typed payload names the offending length so a client can log
+    // which frame blew the limit without parsing the prose message.
+    EXPECT_EQ(response.at("frameLength").asNumber(), 4096.0);
+    EXPECT_EQ(response.at("maxFrameBytes").asNumber(), 256.0);
     // The poisoned connection is closed after the error drains.
     EXPECT_THROW(client.recv(), std::exception);
 

@@ -12,7 +12,10 @@
  *             instead of waiting), --verify (diff the output against
  *             the golden CPU reference).
  *   status    --id=N: query one job.
- *   stats     Print the daemon's stats JSON.
+ *   stats     Print the daemon's metric families. --format=prometheus
+ *             (default) renders Prometheus text exposition via the
+ *             shared obs formatter; --format=json prints the canonical
+ *             families JSON; --raw prints the legacy stats verb body.
  *   shutdown  Ask the daemon to finish in-flight work and exit.
  *   smoke     Closed-loop multi-tenant exercise for CI: ~--jobs mixed
  *             kernels over --tenants tenants with hot matrix reuse, a
@@ -37,6 +40,7 @@
 
 #include "baselines/spgemm_cpu.hh"
 #include "common/config.hh"
+#include "obs/metrics.hh"
 #include "serve/socket_server.hh"
 #include "sparse/format.hh"
 #include "sparse/generate.hh"
@@ -408,12 +412,32 @@ main(int argc, char **argv)
             return 0;
         }
         if (command == "stats") {
+            // Raw job-table JSON is still available via --raw; the
+            // default path goes through the shared metric formatters so
+            // the CLI, menda_top, and a Prometheus scraper all render
+            // the exact same families.
+            if (opts.has("raw")) {
+                json::Object q;
+                q["type"] = json::Value("stats");
+                std::printf("%s\n",
+                            client.call(json::Value(std::move(q)))
+                                .serialize()
+                                .c_str());
+                return 0;
+            }
             json::Object q;
-            q["type"] = json::Value("stats");
-            std::printf("%s\n",
-                        client.call(json::Value(std::move(q)))
-                            .serialize()
-                            .c_str());
+            q["type"] = json::Value("metrics");
+            const json::Value r = client.call(json::Value(std::move(q)));
+            const std::vector<obs::MetricFamily> families =
+                obs::metricsFromJson(r.at("families"));
+            if (opts.get("format", "prometheus") == "json")
+                std::printf("%s\n",
+                            obs::metricsToJson(families)
+                                .serialize()
+                                .c_str());
+            else
+                std::printf("%s", obs::renderPrometheus(families)
+                                      .c_str());
             return 0;
         }
         if (command == "shutdown") {

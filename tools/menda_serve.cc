@@ -18,8 +18,13 @@
  *   --cache-budget-mb=256  residency-cache budget (simulated MiB)
  *   --policy=fair          "fair" (preemptive RR) or "fifo" (baseline)
  *   --sim-mode=detailed    default fidelity ("simMode" overrides)
+ *   --threads=1            host threads per job's simulation
+ *   --window-cycles=1000000  virtual cycles per rolling SLO window
  *   --metrics=PATH         periodic metrics snapshot (menda.runReport/1)
  *   --metrics-every=64     snapshot every N server iterations
+ *   --journal=PATH         write the event journal (JSONL) at shutdown
+ *   --trace-jobs=PATH      write the job-span Chrome trace at shutdown
+ *   --no-observability     disable tracing + journal (overhead A/B)
  *
  * Prints "menda_serve listening on <endpoint>" once ready (scripts key
  * on this line; for --port=0 it carries the chosen port). Runs until a
@@ -30,6 +35,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <fstream>
 #include <string>
 
 #include "common/config.hh"
@@ -49,7 +55,8 @@ main(int argc, char **argv)
     config.system.channels = 1;
     config.system.dimmsPerChannel = 1;
     config.system.ranksPerDimm = ranks;
-    config.system.hostThreads = 1;
+    config.system.hostThreads =
+        static_cast<unsigned>(opts.getInt("threads", 1));
     config.ranksPerJob =
         static_cast<unsigned>(opts.getInt("ranks-per-job", 4));
     config.queueDepth =
@@ -61,6 +68,9 @@ main(int argc, char **argv)
     config.cacheBudgetBytes =
         static_cast<std::uint64_t>(opts.getInt("cache-budget-mb", 256))
         << 20;
+    config.windowCycles = static_cast<Cycle>(
+        opts.getInt("window-cycles", 1'000'000));
+    config.observability = !opts.has("no-observability");
 
     try {
         config.policy =
@@ -99,6 +109,16 @@ main(int argc, char **argv)
         }
         if (!metrics_path.empty())
             core.metricsReport().write(metrics_path);
+        const std::string journal_path = opts.get("journal", "");
+        if (!journal_path.empty()) {
+            std::ofstream os(journal_path);
+            os << core.journalJsonl();
+        }
+        const std::string trace_path = opts.get("trace-jobs", "");
+        if (!trace_path.empty()) {
+            std::ofstream os(trace_path);
+            os << core.jobTraceJson();
+        }
         std::printf("menda_serve: shutdown complete\n");
         return 0;
     } catch (const std::exception &e) {
