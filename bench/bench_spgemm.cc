@@ -13,8 +13,16 @@
  * BENCH_spgemm.json (--bench-json=PATH overrides) so the perf
  * trajectory is machine-trackable and CI can gate it with
  * menda_report_diff.
+ *
+ * Each case additionally runs under the condensed (Huffman) merge
+ * scheduler (DESIGN.md Sec. 15). Its CSR must stay bitwise identical to
+ * the uniform run's; what changes is the COO ping-pong spill traffic,
+ * reported per case as <case>.spilledBlocksCondensedOverUniform plus
+ * the aggregate spilledBlocksCondensedOverUniform that CI gates with
+ * `menda_report_diff --min`.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -76,14 +84,26 @@ main(int argc, char **argv)
     banner("SpGEMM dataflow: merge engine vs CPU baselines (scale 1/" +
            std::to_string(scale) + ", " + std::to_string(leaves) +
            " leaves)");
-    std::printf("%-14s %9s %9s %6s | %9s %9s %9s | %9s %12s\n", "Matrix",
-                "nnz(A)", "partials", "iters", "sim(ms)", "heap(ms)",
-                "hash(ms)", "speedup", "simCyc/s");
+    std::printf("%-14s %9s %9s %6s | %9s %9s %9s | %9s | %9s %9s %6s\n",
+                "Matrix", "nnz(A)", "partials", "iters", "sim(ms)",
+                "heap(ms)", "hash(ms)", "speedup", "spill(u)",
+                "spill(c)", "u/c");
 
     ReportWriter writer(opts, "spgemm");
     writer.report().setMeta("scale", std::to_string(scale));
     writer.report().setMeta("leaves", std::to_string(leaves));
 
+    const auto spilledBlocks = [](const core::RunResult &r) {
+        std::uint64_t total = 0;
+        for (std::uint64_t b : r.spilledReadBlocks)
+            total += b;
+        for (std::uint64_t b : r.spilledWriteBlocks)
+            total += b;
+        return total;
+    };
+
+    std::uint64_t uniform_spilled = 0;
+    std::uint64_t condensed_spilled = 0;
     for (const Case &c : buildCases(scale)) {
         core::SystemConfig config = channelSystem(1);
         config.pu.leaves = leaves;
@@ -96,6 +116,14 @@ main(int argc, char **argv)
                 std::chrono::steady_clock::now() - wall_start)
                 .count();
 
+        // Same case under the condensed (Huffman) scheduler: scheduling
+        // must never change the product, only the spill traffic.
+        core::SystemConfig condensed_config = config;
+        condensed_config.pu.spgemm.scheduler =
+            spgemm::SpgemmScheduler::Huffman;
+        core::MendaSystem condensed_sys(condensed_config);
+        core::SpgemmResult condensed = condensed_sys.spgemm(c.a, c.b);
+
         baselines::CpuRunResult heap_timing, hash_timing;
         sparse::CsrMatrix heap =
             baselines::spgemmHeapMerge(c.a, c.b, &heap_timing);
@@ -103,23 +131,38 @@ main(int argc, char **argv)
         if (!(result.c == heap))
             menda_fatal("PU SpGEMM mismatch vs heap baseline on ",
                         c.name);
+        if (!(condensed.c == heap))
+            menda_fatal("condensed-scheduler SpGEMM mismatch vs heap "
+                        "baseline on ",
+                        c.name);
+
+        const std::uint64_t u_spill = spilledBlocks(result);
+        const std::uint64_t c_spill = spilledBlocks(condensed);
+        uniform_spilled += u_spill;
+        condensed_spilled += c_spill;
+        const double case_ratio =
+            static_cast<double>(u_spill) /
+            static_cast<double>(std::max<std::uint64_t>(1, c_spill));
 
         const double speedup =
             result.seconds > 0.0 ? heap_timing.seconds / result.seconds
                                  : 0.0;
-        const double sim_cycles_per_sec =
-            wall_ms > 0.0 ? static_cast<double>(result.puCycles) /
-                                (wall_ms / 1e3)
-                          : 0.0;
-        std::printf("%-14s %9lu %9lu %6u | %9.3f %9.3f %9.3f | %8.1fx "
-                    "%12.3g\n",
+        std::printf("%-14s %9lu %9lu %6u | %9.3f %9.3f %9.3f | %8.1fx | "
+                    "%9lu %9lu %6.2f\n",
                     c.name.c_str(), (unsigned long)c.a.nnz(),
                     (unsigned long)result.partialProducts,
                     result.iterations, result.seconds * 1e3,
                     heap_timing.seconds * 1e3, hash_timing.seconds * 1e3,
-                    speedup, sim_cycles_per_sec);
+                    speedup, (unsigned long)u_spill,
+                    (unsigned long)c_spill, case_ratio);
 
         writer.addRun(c.name, config, result, c.a.nnz(), wall_ms / 1e3);
+        // The condensed run lands under "<case>.condensed." — including
+        // the per-round spill.iterN traffic from makeRunReport.
+        writer.addRun(c.name + ".condensed", condensed_config, condensed,
+                      c.a.nnz());
+        writer.report().setMetric(
+            c.name + ".spilledBlocksCondensedOverUniform", case_ratio);
         writer.report().setMetric(c.name + ".partialProducts",
                                   double(result.partialProducts));
         writer.report().setMetric(c.name + ".outputNnz",
@@ -133,7 +176,18 @@ main(int argc, char **argv)
         writer.report().setMetric(c.name + ".speedupVsHeapWall",
                                   speedup);
     }
-    std::printf("\nAll products verified value-exact against the "
+    // The headline scheduling win, aggregated over every case at this
+    // scale; CI keeps it honest with --min on menda_report_diff.
+    const double ratio =
+        static_cast<double>(uniform_spilled) /
+        static_cast<double>(
+            std::max<std::uint64_t>(1, condensed_spilled));
+    writer.report().setMetric("spilledBlocksCondensedOverUniform", ratio);
+    std::printf("\nCondensed scheduling spilled %.2fx fewer COO blocks "
+                "than uniform (%lu vs %lu).\n",
+                ratio, (unsigned long)condensed_spilled,
+                (unsigned long)uniform_spilled);
+    std::printf("All products verified value-exact against the "
                 "heap-merge baseline.\n");
     return 0;
 }

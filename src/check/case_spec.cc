@@ -285,6 +285,9 @@ CaseSpec::normalize()
     } else {
         b = MatrixSpec{}; // unused; keep operator== meaningful
     }
+    // The condensed scheduler only exists for the SpGEMM dataflow.
+    if (kernel != Kernel::Spgemm)
+        withCondensed = false;
     pus = std::clamp<unsigned>(pus, 1, 8);
     // Power-of-two leaf count >= 4 keeps trees valid and small.
     unsigned l = 4;
@@ -343,7 +346,8 @@ CaseSpec::oneLine() const
        << (withTrace ? " +trace" : "")
        << (withFunctional ? " +functional" : "")
        << (withSampledSim ? " +sampledsim" : "")
-       << (withServed ? " +served" : "");
+       << (withServed ? " +served" : "")
+       << (withCondensed ? " +condensed" : "");
     if (samplePeriod != 0)
         os << " sample=" << samplePeriod;
     return os.str();
@@ -417,6 +421,7 @@ CaseSpec::toJson() const
     engine["functional"] = withFunctional;
     engine["sampledSim"] = withSampledSim;
     engine["served"] = withServed;
+    engine["condensed"] = withCondensed;
     o["engine"] = engine;
     return obs::json::Value(std::move(o)).serialize();
 }
@@ -472,6 +477,9 @@ CaseSpec::fromJson(const std::string &text)
                               : false;
     spec.withServed =
         engine.has("served") ? engine.at("served").asBool() : false;
+    spec.withCondensed = engine.has("condensed")
+                             ? engine.at("condensed").asBool()
+                             : false;
     spec.normalize();
     return spec;
 }

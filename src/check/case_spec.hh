@@ -104,6 +104,13 @@ struct CaseSpec
      */
     bool withServed = false;
 
+    /**
+     * SpGEMM only: also run the Huffman (condensed) merge scheduler and
+     * diff its CSR bitwise against the uniform baseline (DESIGN.md
+     * Sec. 15). Reports are not compared — the schedule differs.
+     */
+    bool withCondensed = false;
+
     /** Clamp fields into valid ranges and tie b.rows to a.cols. */
     void normalize();
 

@@ -44,6 +44,21 @@ variantsFor(const CaseSpec &spec)
         v.served = true;
         variants.push_back(v);
     }
+    if (spec.kernel == Kernel::Spgemm && spec.withCondensed) {
+        EngineVariant v;
+        v.name = "condensed";
+        v.condensed = true;
+        variants.push_back(v);
+        if (spec.withFunctional) {
+            // The functional tier must mirror the Huffman schedule
+            // too: same CSR, bitwise, through a very different engine.
+            EngineVariant f;
+            f.name = "condensed-functional";
+            f.condensed = true;
+            f.simMode = core::SimMode::Functional;
+            variants.push_back(f);
+        }
+    }
     return variants;
 }
 
@@ -159,6 +174,8 @@ runVariant(const CaseSpec &spec, const EngineVariant &variant)
     config.dram.referenceScheduler = variant.referenceScheduler;
     config.samplePeriod = variant.samplePeriod;
     config.simMode = variant.simMode;
+    if (variant.condensed)
+        config.pu.spgemm.scheduler = spgemm::SpgemmScheduler::Huffman;
     if (variant.simMode == core::SimMode::Sampled) {
         // Small windows so tiny fuzz cases still alternate between
         // fast-forward and measurement a few times.
@@ -286,8 +303,12 @@ diffOutcomes(const CaseSpec &spec, const EngineVariant &va,
 
     // Fast-tier variants estimate timing: their kernel outputs must be
     // bitwise identical (checked above) but their reports are not
-    // comparable against the cycle-accurate engine's.
-    if (va.outputsOnly() || vb.outputsOnly())
+    // comparable against the cycle-accurate engine's. The same holds
+    // across schedulers: the condensed variant executes a different
+    // merge schedule, so cycles and traffic legitimately diverge while
+    // the CSR may not.
+    if (va.outputsOnly() || vb.outputsOnly() ||
+        va.condensed != vb.condensed)
         return {};
 
     if (!va.metricsOnly() && !vb.metricsOnly()) {

@@ -50,6 +50,14 @@ struct EngineVariant
     bool served = false;
 
     /**
+     * Run with the Huffman (condensed) SpGEMM merge scheduler instead
+     * of the uniform one (DESIGN.md Sec. 15). The schedule differs, so
+     * timing and traffic differ too — only the CSR output is comparable
+     * against other variants (it must still be bitwise identical).
+     */
+    bool condensed = false;
+
+    /**
      * Sampling adds time series to the report, so a sampled run is only
      * comparable metric-by-metric, not byte-by-byte.
      */

@@ -94,6 +94,10 @@ CaseGenerator::next()
     spec.withFunctional = pick("functional", 2, on_off) == 0;
     spec.withSampledSim = pick("sampledsim", 2, on_off) == 0;
     spec.withServed = pick("served", 2, on_off) == 0;
+    // Scheduler axis: SpGEMM cases may also run the condensed (Huffman)
+    // planner and diff its CSR against the uniform baseline.
+    spec.withCondensed = spec.kernel == Kernel::Spgemm &&
+                         pick("condensed", 2, on_off) == 0;
 
     spec.normalize();
     return spec;

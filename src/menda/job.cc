@@ -424,6 +424,16 @@ KernelJob::collect(RunResult &result)
         bus_cycles_total += mem.busBusyCycles();
         elapsed_mem_cycles = std::max(elapsed_mem_cycles, mem.curCycle());
         iterStats_.push_back(pu.iterationStats());
+        const auto &sp_r = pu.spilledReadBlocks();
+        const auto &sp_w = pu.spilledWriteBlocks();
+        if (result.spilledReadBlocks.size() < sp_r.size())
+            result.spilledReadBlocks.resize(sp_r.size(), 0);
+        if (result.spilledWriteBlocks.size() < sp_w.size())
+            result.spilledWriteBlocks.resize(sp_w.size(), 0);
+        for (std::size_t t = 0; t < sp_r.size(); ++t)
+            result.spilledReadBlocks[t] += sp_r[t];
+        for (std::size_t t = 0; t < sp_w.size(); ++t)
+            result.spilledWriteBlocks[t] += sp_w[t];
     }
     if (!pus_.empty()) {
         result.treeOccupancy = pus_[0]->occupancySamples();

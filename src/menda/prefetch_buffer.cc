@@ -16,8 +16,10 @@ constexpr std::uint64_t elemsPerBlock = blockBytes / 4;
 } // namespace
 
 PrefetchBuffer::PrefetchBuffer(unsigned slot, const PuConfig &config,
-                               const PuMemoryMap *map, ElementReader reader)
-    : slot_(slot), config_(&config), map_(map), reader_(std::move(reader))
+                               const PuMemoryMap *map, ElementReader reader,
+                               CondensedChunkPlanner condensed)
+    : slot_(slot), config_(&config), map_(map), reader_(std::move(reader)),
+      condensed_(std::move(condensed))
 {
     // A buffer must hold at least one whole 64 B span (16 NZs), or long
     // streams could never make progress.
@@ -91,10 +93,22 @@ PrefetchBuffer::maybeStartChunk()
         return;
     }
     const std::uint64_t remaining = desc.end - cursor_;
-    const std::uint64_t span_end =
-        (cursor_ / elemsPerBlock + 1) * elemsPerBlock;
-    const std::uint64_t chunk_end =
-        std::min<std::uint64_t>(desc.end, span_end);
+    std::uint64_t chunk_end = 0;
+    std::vector<Addr> condensed_blocks;
+    if (desc.source == StreamSource::CondensedLeaf) {
+        // Packed leaf: the virtual-to-physical mapping lives in the PU;
+        // its planner bounds the chunk to one packed sub-stream's share
+        // of one aligned B span and names the physical blocks.
+        menda_assert(static_cast<bool>(condensed_),
+                     "condensed stream without a chunk planner");
+        chunk_end = condensed_(desc, cursor_, condensed_blocks);
+        menda_assert(chunk_end > cursor_ && chunk_end <= desc.end,
+                     "condensed chunk out of stream bounds");
+    } else {
+        const std::uint64_t span_end =
+            (cursor_ / elemsPerBlock + 1) * elemsPerBlock;
+        chunk_end = std::min<std::uint64_t>(desc.end, span_end);
+    }
     const std::uint64_t count = chunk_end - cursor_;
     menda_assert(count > 0, "empty chunk");
     if (count > space)
@@ -107,34 +121,41 @@ PrefetchBuffer::maybeStartChunk()
     chunk_.desc = desc;
     chunk_.blocksToIssue.clear();
     chunk_.blocksAwaited.clear();
-    for (std::uint64_t span = cursor_ / elemsPerBlock;
-         span <= (chunk_end - 1) / elemsPerBlock; ++span) {
-        const std::uint64_t elem = span * elemsPerBlock;
-        switch (desc.source) {
-          case StreamSource::CsrRow:
-          case StreamSource::CscColumn:
-            chunk_.blocksToIssue.push_back(
-                map_->blockOf(Region::ColIdx, elem));
-            chunk_.blocksToIssue.push_back(
-                map_->blockOf(Region::NzVal, elem));
-            break;
-          case StreamSource::Coo:
-            chunk_.blocksToIssue.push_back(
-                map_->blockOf(map_->cooRow(desc.cooBuffer), elem));
-            chunk_.blocksToIssue.push_back(
-                map_->blockOf(map_->cooCol(desc.cooBuffer), elem));
-            chunk_.blocksToIssue.push_back(
-                map_->blockOf(map_->cooVal(desc.cooBuffer), elem));
-            break;
-          case StreamSource::ScaledBRow:
-            // SpGEMM partial product: the stream is a row of the
-            // replicated B operand; the scaling factor A(i, k) rode in
-            // with the stream descriptor, so only B's arrays are read.
-            chunk_.blocksToIssue.push_back(
-                map_->blockOf(Region::BColIdx, elem));
-            chunk_.blocksToIssue.push_back(
-                map_->blockOf(Region::BNzVal, elem));
-            break;
+    if (desc.source == StreamSource::CondensedLeaf) {
+        chunk_.blocksToIssue = std::move(condensed_blocks);
+    } else {
+        for (std::uint64_t span = cursor_ / elemsPerBlock;
+             span <= (chunk_end - 1) / elemsPerBlock; ++span) {
+            const std::uint64_t elem = span * elemsPerBlock;
+            switch (desc.source) {
+              case StreamSource::CsrRow:
+              case StreamSource::CscColumn:
+                chunk_.blocksToIssue.push_back(
+                    map_->blockOf(Region::ColIdx, elem));
+                chunk_.blocksToIssue.push_back(
+                    map_->blockOf(Region::NzVal, elem));
+                break;
+              case StreamSource::Coo:
+                chunk_.blocksToIssue.push_back(
+                    map_->blockOf(map_->cooRow(desc.cooBuffer), elem));
+                chunk_.blocksToIssue.push_back(
+                    map_->blockOf(map_->cooCol(desc.cooBuffer), elem));
+                chunk_.blocksToIssue.push_back(
+                    map_->blockOf(map_->cooVal(desc.cooBuffer), elem));
+                break;
+              case StreamSource::ScaledBRow:
+                // SpGEMM partial product: the stream is a row of the
+                // replicated B operand; the scaling factor A(i, k) rode
+                // in with the stream descriptor, so only B's arrays are
+                // read.
+                chunk_.blocksToIssue.push_back(
+                    map_->blockOf(Region::BColIdx, elem));
+                chunk_.blocksToIssue.push_back(
+                    map_->blockOf(Region::BNzVal, elem));
+                break;
+              case StreamSource::CondensedLeaf:
+                break; // handled above
+            }
         }
     }
     occupancy_ += static_cast<unsigned>(count);

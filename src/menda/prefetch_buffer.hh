@@ -40,11 +40,22 @@ namespace menda::core
 using ElementReader = std::function<Packet(const StreamDesc &,
                                            std::uint64_t element)>;
 
+/**
+ * Plans one fetch chunk of a StreamSource::CondensedLeaf stream: given
+ * the virtual element cursor, appends the physical block loads of the
+ * chunk to @p blocks and returns the virtual chunk end (the elements of
+ * one packed sub-stream that share one aligned 64 B span of B's
+ * arrays). Owned by the PU, which knows the pack-to-B mapping.
+ */
+using CondensedChunkPlanner = std::function<std::uint64_t(
+    const StreamDesc &, std::uint64_t cursor, std::vector<Addr> &blocks)>;
+
 class PrefetchBuffer
 {
   public:
     PrefetchBuffer(unsigned slot, const PuConfig &config,
-                   const PuMemoryMap *map, ElementReader reader);
+                   const PuMemoryMap *map, ElementReader reader,
+                   CondensedChunkPlanner condensed = {});
 
     unsigned slot() const { return slot_; }
 
@@ -121,6 +132,7 @@ class PrefetchBuffer
     const PuConfig *config_;
     const PuMemoryMap *map_;
     ElementReader reader_;
+    CondensedChunkPlanner condensed_;
 
     std::deque<StreamDesc> assignments_; ///< front = being fetched
     std::uint64_t cursor_ = 0;           ///< next element to fetch

@@ -13,6 +13,17 @@ namespace
 
 constexpr std::uint32_t controllerRequester = 0xffffffffu;
 
+constexpr std::uint64_t elemsPerBlock = blockBytes / 4;
+
+/** Aligned 64 B spans of a 4-byte-element array covering [begin, end). */
+std::uint64_t
+spanBlocks(std::uint64_t begin, std::uint64_t end)
+{
+    if (begin >= end)
+        return 0;
+    return (end - 1) / elemsPerBlock - begin / elemsPerBlock + 1;
+}
+
 } // namespace
 
 void
@@ -24,6 +35,10 @@ Pu::commonInit()
             slot, config_, &map_,
             [this](const StreamDesc &desc, std::uint64_t element) {
                 return readElement(desc, element);
+            },
+            [this](const StreamDesc &desc, std::uint64_t cursor,
+                   std::vector<Addr> &blocks) {
+                return condensedChunk(desc, cursor, blocks);
             }));
     inIssueQueue_.assign(config_.leaves, false);
     inPushQueue_.assign(config_.leaves, false);
@@ -146,7 +161,108 @@ Pu::Pu(std::string name, const PuConfig &config,
     // non-zero of the A slice, in row-major order (exactness depends on
     // this ordinal order; DESIGN.md Sec. 9).
     spgemmStreams_ = spgemm::buildStreams(*a_slice, *b);
+    huffman_ =
+        config_.spgemm.scheduler == spgemm::SpgemmScheduler::Huffman;
+    if (huffman_) {
+        condensedLeaves_ = spgemm::condenseStreams(
+            spgemmStreams_, config_.spgemm.condenseCap);
+        streamElemPrefix_.resize(spgemmStreams_.size() + 1, 0);
+        for (std::size_t t = 0; t < spgemmStreams_.size(); ++t)
+            streamElemPrefix_[t + 1] =
+                streamElemPrefix_[t] + spgemmStreams_[t].elements();
+        std::vector<std::uint64_t> leaf_sizes;
+        leaf_sizes.reserve(condensedLeaves_.size());
+        for (const spgemm::CondensedLeaf &leaf : condensedLeaves_)
+            leaf_sizes.push_back(leaf.elements);
+        mergePlan_ = spgemm::planMergeTree(leaf_sizes, config_.leaves);
+        // One pre-carved descriptor per condensed leaf. Single-stream
+        // leaves keep the plain scaled-B-row fetch path; packs fetch
+        // through the virtual concatenated element space. Either way
+        // auxIndex names the leaf, for assignment gating.
+        leafDescs_.reserve(condensedLeaves_.size());
+        for (std::size_t i = 0; i < condensedLeaves_.size(); ++i) {
+            const spgemm::CondensedLeaf &leaf = condensedLeaves_[i];
+            StreamDesc desc;
+            if (leaf.streamCount == 1) {
+                const spgemm::PartialProductStream &s =
+                    spgemmStreams_[leaf.firstStream];
+                desc.source = StreamSource::ScaledBRow;
+                desc.begin = s.begin;
+                desc.end = s.end;
+                desc.fixedIndex = s.outRow;
+                desc.scale = s.scale;
+            } else {
+                desc.source = StreamSource::CondensedLeaf;
+                desc.begin = streamElemPrefix_[leaf.firstStream];
+                desc.end =
+                    streamElemPrefix_[leaf.firstStream + leaf.streamCount];
+            }
+            desc.auxIndex = static_cast<Index>(i);
+            leafDescs_.push_back(desc);
+        }
+    }
     commonInit();
+}
+
+bool
+Pu::spgemmLeafReady(std::uint64_t leaf_index) const
+{
+    const spgemm::CondensedLeaf &leaf = condensedLeaves_[leaf_index];
+    for (std::uint64_t t = leaf.firstStream;
+         t < leaf.firstStream + leaf.streamCount; ++t) {
+        const spgemm::PartialProductStream &s = spgemmStreams_[t];
+        const Index r = s.outRow;
+        const Index k = s.bRow;
+        if (!(ptrArrived_[r / 16] && ptrArrived_[(r + 1) / 16] &&
+              aIdxArrived_[t / 16] && aValArrived_[t / 16] &&
+              bPtrArrived_[k / 16] && bPtrArrived_[(k + 1) / 16]))
+            return false;
+    }
+    return true;
+}
+
+std::uint64_t
+Pu::condensedChunk(const StreamDesc &desc, std::uint64_t cursor,
+                   std::vector<Addr> &blocks) const
+{
+    // One chunk = the elements of ONE packed sub-stream that share one
+    // aligned 64 B span of B's arrays — the same granularity a plain
+    // scaled-B-row stream fetches at, just with the sub-stream found by
+    // a prefix search on the virtual cursor.
+    const spgemm::CondensedLeaf &leaf = condensedLeaves_[desc.auxIndex];
+    const auto first = streamElemPrefix_.begin() + leaf.firstStream;
+    const auto it =
+        std::upper_bound(first, first + leaf.streamCount + 1, cursor);
+    const std::uint64_t t = (it - streamElemPrefix_.begin()) - 1;
+    const spgemm::PartialProductStream &s = spgemmStreams_[t];
+    const std::uint64_t phys = s.begin + (cursor - streamElemPrefix_[t]);
+    const std::uint64_t span_end =
+        (phys / elemsPerBlock + 1) * elemsPerBlock;
+    const std::uint64_t phys_end = std::min(s.end, span_end);
+    blocks.push_back(map_.blockOf(Region::BColIdx, phys));
+    blocks.push_back(map_.blockOf(Region::BNzVal, phys));
+    return cursor + (phys_end - phys);
+}
+
+void
+Pu::buildIterationStreams()
+{
+    const spgemm::MergeIteration &it = mergePlan_.iterations[iteration_];
+    roundsTotal_ = it.rounds.size();
+    finalIteration_ = iteration_ + 1 == mergePlan_.iterations.size();
+    iterStreams_.assign(roundsTotal_ * config_.leaves, StreamDesc{});
+    for (std::size_t r = 0; r < it.rounds.size(); ++r) {
+        const spgemm::MergeRound &round = it.rounds[r];
+        menda_assert(round.inputs.size() <= config_.leaves,
+                     "merge-tree round fan-in exceeds tree width");
+        for (std::size_t s = 0; s < round.inputs.size(); ++s) {
+            const spgemm::StreamRef &ref = round.inputs[s];
+            iterStreams_[r * config_.leaves + s] =
+                ref.kind == spgemm::StreamRef::Kind::Leaf
+                    ? leafDescs_[ref.index]
+                    : streams_[ref.index];
+        }
+    }
 }
 
 void
@@ -163,6 +279,12 @@ StreamDesc
 Pu::streamForOrdinal(std::uint64_t ordinal) const
 {
     StreamDesc desc;
+    if (mode_ == PuMode::Spgemm && huffman_ && !windowMode_) {
+        // Huffman: every iteration's slot table is pre-built from the
+        // merge-tree plan, padding included, so the shared
+        // ordinal = round * leaves + slot contract holds unchanged.
+        return iterStreams_[ordinal];
+    }
     if (iteration_ == 0) {
         if (mode_ == PuMode::Spgemm) {
             const spgemm::PartialProductStream &s =
@@ -196,6 +318,8 @@ Pu::streamForOrdinal(std::uint64_t ordinal) const
 std::uint64_t
 Pu::streamCount() const
 {
+    if (mode_ == PuMode::Spgemm && huffman_ && !windowMode_)
+        return iterStreams_.size();
     if (iteration_ != 0)
         return streams_.size();
     return mode_ == PuMode::Spgemm ? spgemmStreams_.size()
@@ -205,9 +329,15 @@ Pu::streamCount() const
 void
 Pu::setupIteration()
 {
-    const std::uint64_t n = streamCount();
-    roundsTotal_ = (n + config_.leaves - 1) / config_.leaves;
-    finalIteration_ = roundsTotal_ <= 1;
+    if (mode_ == PuMode::Spgemm && huffman_ && !windowMode_) {
+        // Non-uniform rounds come from the merge-tree plan; the slot
+        // table is padded so the shared ordinal contract still holds.
+        buildIterationStreams();
+    } else {
+        const std::uint64_t n = streamCount();
+        roundsTotal_ = (n + config_.leaves - 1) / config_.leaves;
+        finalIteration_ = roundsTotal_ <= 1;
+    }
     if (windowMode_) {
         // A measurement window replays a SUFFIX of the parent's
         // iteration; whether the output/reduction path runs in final
@@ -315,6 +445,23 @@ Pu::setupIteration()
     if (roundsTotal_ != 0)
         for (unsigned b = 0; b < config_.leaves; ++b)
             assignQueue_.push_back(b);
+
+    // Spill-traffic ledger (SpGEMM, both schedulers): the COO runs this
+    // iteration consumes were spilled by the previous one; their
+    // read-back blocks are counted analytically (3 arrays per span) so
+    // the metric is identical across simulation tiers and thread
+    // counts. The write side lands in finishIteration.
+    if (mode_ == PuMode::Spgemm && !windowMode_) {
+        std::uint64_t read_blocks = 0;
+        const std::uint64_t count = streamCount();
+        for (std::uint64_t i = 0; i < count; ++i) {
+            const StreamDesc d = streamForOrdinal(i);
+            if (d.source == StreamSource::Coo)
+                read_blocks += spanBlocks(d.begin, d.end) * 3;
+        }
+        spilledReadBlocks_.push_back(read_blocks);
+        spilledWriteBlocks_.push_back(0);
+    }
 
     iterStartCycle_ = cycle_;
     iterStartReads_ = mem_->readsServed();
@@ -550,7 +697,18 @@ Pu::doAssignments()
         if (ordinal < n) {
             if (pointerPhase_) {
                 bool bounds_ready;
-                if (mode_ == PuMode::Spgemm) {
+                if (mode_ == PuMode::Spgemm && huffman_ && !windowMode_) {
+                    // Huffman: the slot's entry is a pre-carved leaf
+                    // descriptor (or empty padding). A leaf becomes
+                    // assignable once the metadata of every packed
+                    // sub-stream has arrived; padding gates on nothing.
+                    const StreamDesc &entry = iterStreams_[ordinal];
+                    bounds_ready =
+                        entry.source != StreamSource::ScaledBRow &&
+                                entry.source != StreamSource::CondensedLeaf
+                            ? true
+                            : spgemmLeafReady(entry.auxIndex);
+                } else if (mode_ == PuMode::Spgemm) {
                     // A stream exists once the controller holds the A
                     // row-pointer blocks framing its row, the A index
                     // and value blocks carrying its B row and scale,
@@ -698,6 +856,12 @@ Pu::finishIteration()
         mem_->readQueue().coalescedHits().value() - iterStartCoalesced_;
     iterStats_.push_back(st);
 
+    // Non-final SpGEMM iterations store nothing but the COO ping-pong
+    // spill, so the iteration's write blocks ARE its spill writes.
+    if (mode_ == PuMode::Spgemm && !windowMode_ && !finalIteration_ &&
+        iteration_ < spilledWriteBlocks_.size())
+        spilledWriteBlocks_[iteration_] = st.writeBlocks;
+
     if (trace_)
         trace_->span(
             tracePhases_,
@@ -843,7 +1007,16 @@ Pu::tick()
     doLoadPort();
     doStorePort();
 
-    if (output_.iterationDone() && responses_.empty() &&
+    bool ctrl_drained = true;
+    if (pointerPhase_ && mode_ == PuMode::Spgemm && huffman_) {
+        // Huffman defers leaves past iteration 0, but the controller
+        // still owns every metadata fetch and later-iteration leaf
+        // assignments do not re-check arrival — hold iteration 0 open
+        // until the metadata stream has fully landed.
+        ctrl_drained = ctrlNextIssue_ == ctrlLoads_.size() &&
+                       pendingPtrLoads_.empty() && ptrOutstanding_ == 0;
+    }
+    if (ctrl_drained && output_.iterationDone() && responses_.empty() &&
         mem_->writeQueue().empty() && waiters_.empty())
         finishIteration();
 }

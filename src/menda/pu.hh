@@ -24,6 +24,7 @@
 #ifndef MENDA_MENDA_PU_HH
 #define MENDA_MENDA_PU_HH
 
+#include <algorithm>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -43,6 +44,7 @@
 #include "obs/trace.hh"
 #include "sparse/format.hh"
 #include "spgemm/partial_products.hh"
+#include "spgemm/plan.hh"
 #include "sim/clock.hh"
 
 namespace menda::core
@@ -169,6 +171,23 @@ class Pu : public Ticked
     {
         return iterStats_;
     }
+
+    /**
+     * Per-iteration COO ping-pong spill traffic in 64 B blocks (SpGEMM
+     * only; empty in other modes). Reads are analytic span counts of
+     * the runs consumed by each iteration (3 arrays); writes are the
+     * measured store blocks of each non-final iteration. Final
+     * iterations read leaves/runs but spill nothing, so the last write
+     * entry is always 0.
+     */
+    const std::vector<std::uint64_t> &spilledReadBlocks() const
+    {
+        return spilledReadBlocks_;
+    }
+    const std::vector<std::uint64_t> &spilledWriteBlocks() const
+    {
+        return spilledWriteBlocks_;
+    }
     const MergeTree &tree() const { return tree_; }
     dram::MemoryController &mem() { return *mem_; }
     const PuMemoryMap &memoryMap() const { return map_; }
@@ -223,6 +242,20 @@ class Pu : public Ticked
     void pointerEngine();
     void noteBufferActivity(unsigned slot);
     StreamDesc streamForOrdinal(std::uint64_t ordinal) const;
+
+    // --- SpGEMM Huffman scheduler (DESIGN.md §15) ---
+
+    /** Build iterStreams_/roundsTotal_/finalIteration_ from mergePlan_. */
+    void buildIterationStreams();
+
+    /** All metadata blocks of a condensed leaf's sub-streams arrived? */
+    bool spgemmLeafReady(std::uint64_t leaf_index) const;
+
+    /** CondensedChunkPlanner: map a virtual pack cursor to one
+     *  sub-stream's share of one aligned B span. */
+    std::uint64_t condensedChunk(const StreamDesc &desc,
+                                 std::uint64_t cursor,
+                                 std::vector<Addr> &blocks) const;
 
     // --- fast simulation tiers (pu_fastsim.cc) ---
 
@@ -340,6 +373,22 @@ class Pu : public Ticked
     std::uint64_t ctrlNextIssue_ = 0;
     std::vector<bool> aIdxArrived_, aValArrived_, bPtrArrived_;
 
+    // SpGEMM Huffman scheduler state (empty under the uniform oracle).
+    // streamElemPrefix_[t] = cumulative elements of streams [0, t); a
+    // condensed leaf's virtual element space is the prefix range of its
+    // packed streams. iterStreams_ is the current iteration's padded
+    // slot table — ordinal = round * leaves + slot, the same contract
+    // the uniform controller and both fast tiers share.
+    bool huffman_ = false;
+    std::vector<spgemm::CondensedLeaf> condensedLeaves_;
+    std::vector<std::uint64_t> streamElemPrefix_;
+    spgemm::MergeTreePlan mergePlan_;
+    std::vector<StreamDesc> leafDescs_;
+    std::vector<StreamDesc> iterStreams_;
+
+    // Per-iteration spill traffic (SpGEMM only, both schedulers).
+    std::vector<std::uint64_t> spilledReadBlocks_, spilledWriteBlocks_;
+
     // Response path: DRAM-clock callback -> PU-clock consumption.
     std::deque<mem::MemRequest> responses_;
 
@@ -420,6 +469,21 @@ Pu::readElement(const StreamDesc &desc, std::uint64_t element) const
         // the B element is fetched (the SpMV vectorized-multiply path).
         return Packet::data(desc.fixedIndex, bMat_->idx[element],
                             desc.scale * bMat_->val[element], last);
+      case StreamSource::CondensedLeaf: {
+        // A packed leaf addresses the concatenated element space of its
+        // sub-streams; map the virtual offset back to the owning stream
+        // (skipping empty ones) and on to B's arrays. Each sub-stream
+        // keeps its own output row and scale.
+        const spgemm::CondensedLeaf &leaf = condensedLeaves_[desc.auxIndex];
+        const auto first = streamElemPrefix_.begin() + leaf.firstStream;
+        const auto it = std::upper_bound(
+            first, first + leaf.streamCount + 1, element);
+        const std::uint64_t t = (it - streamElemPrefix_.begin()) - 1;
+        const spgemm::PartialProductStream &s = spgemmStreams_[t];
+        const std::uint64_t off = s.begin + (element - streamElemPrefix_[t]);
+        return Packet::data(s.outRow, bMat_->idx[off],
+                            s.scale * bMat_->val[off], last);
+      }
     }
     menda_panic("unreachable stream source");
 }

@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "common/types.hh"
+#include "spgemm/plan.hh"
 
 namespace menda::core
 {
@@ -75,6 +76,13 @@ struct PuConfig
 
     /** Vector lanes of the SpMV multiplier (Tab. 1: 16). */
     unsigned fpMultiplierLanes = 16;
+
+    /**
+     * SpGEMM merge scheduling (SpGEMM only): uniform ceil(n/l) rounds
+     * (the oracle) or the condensed/Huffman planner of
+     * spgemm::planMergeTree. Outputs are bitwise identical either way.
+     */
+    spgemm::SpgemmConfig spgemm;
 
     /** Number of streams each round merges. */
     unsigned streamsPerRound() const { return leaves; }

@@ -91,6 +91,13 @@ Pu::Pu(const Pu &parent, std::vector<StreamDesc> streams, bool final_iter,
     cooSrc_[0] = &parent.coo_[0];
     cooSrc_[1] = &parent.coo_[1];
     streams_ = std::move(streams);
+    // Huffman-scheduled SpGEMM suffixes may carry CondensedLeaf
+    // descriptors; their virtual-to-physical mapping rides along.
+    // huffman_ itself stays false: a window replays explicit streams
+    // and never consults the merge-tree plan.
+    spgemmStreams_ = parent.spgemmStreams_;
+    streamElemPrefix_ = parent.streamElemPrefix_;
+    condensedLeaves_ = parent.condensedLeaves_;
     commonInit();
 }
 
@@ -561,6 +568,29 @@ Pu::functionalReadBlockEstimate() const
     std::uint64_t blocks = 0;
     for (std::uint64_t ordinal = 0; ordinal < n; ++ordinal) {
         const StreamDesc desc = streamForOrdinal(ordinal);
+        if (desc.source == StreamSource::CondensedLeaf) {
+            // Virtual pack: sum the physical B spans of every
+            // sub-stream overlapping [begin, end) — a suffix may start
+            // mid-pack. Empty sub-streams contribute nothing.
+            const auto it = std::upper_bound(streamElemPrefix_.begin(),
+                                             streamElemPrefix_.end(),
+                                             desc.begin);
+            for (std::uint64_t t = (it - streamElemPrefix_.begin()) - 1;
+                 t < spgemmStreams_.size() &&
+                 streamElemPrefix_[t] < desc.end;
+                 ++t) {
+                const spgemm::PartialProductStream &s = spgemmStreams_[t];
+                const std::uint64_t lo =
+                    std::max(desc.begin, streamElemPrefix_[t]);
+                const std::uint64_t hi =
+                    std::min(desc.end, streamElemPrefix_[t + 1]);
+                if (lo < hi)
+                    blocks += spanBlocks(s.begin + (lo - streamElemPrefix_[t]),
+                                         s.begin + (hi - streamElemPrefix_[t])) *
+                              2;
+            }
+            continue;
+        }
         const std::uint64_t span = spanBlocks(desc.begin, desc.end);
         // COO runs load row/col/val; CSR/CSC/B-row streams idx/val.
         blocks += span * (desc.source == StreamSource::Coo ? 3 : 2);

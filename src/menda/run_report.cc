@@ -67,6 +67,34 @@ makeRunReport(const std::string &name, const std::string &kernel,
                      static_cast<double>(total_activates));
     report.setMetric("rankBurstsTotal", static_cast<double>(total_bursts));
 
+    // SpGEMM spill ledger (empty vectors — i.e. any other kernel —
+    // emit nothing, keeping those reports byte-stable): totals plus
+    // per-iteration ping-pong traffic, the numbers the scheduler bench
+    // ratio and its CI gate consume.
+    if (!result.spilledReadBlocks.empty() ||
+        !result.spilledWriteBlocks.empty()) {
+        const std::uint64_t spilled_reads = std::accumulate(
+            result.spilledReadBlocks.begin(),
+            result.spilledReadBlocks.end(), std::uint64_t{0});
+        const std::uint64_t spilled_writes = std::accumulate(
+            result.spilledWriteBlocks.begin(),
+            result.spilledWriteBlocks.end(), std::uint64_t{0});
+        report.setMetric("spilledReadBlocksTotal",
+                         static_cast<double>(spilled_reads));
+        report.setMetric("spilledWriteBlocksTotal",
+                         static_cast<double>(spilled_writes));
+        for (std::size_t t = 0; t < result.spilledReadBlocks.size(); ++t)
+            report.setMetric("spill.iter" + std::to_string(t) +
+                                 ".readBlocks",
+                             static_cast<double>(
+                                 result.spilledReadBlocks[t]));
+        for (std::size_t t = 0; t < result.spilledWriteBlocks.size(); ++t)
+            report.setMetric("spill.iter" + std::to_string(t) +
+                                 ".writeBlocks",
+                             static_cast<double>(
+                                 result.spilledWriteBlocks[t]));
+    }
+
     // Host-dependent rates: diff-ignored by name ("wall",
     // "CyclesPerSec" in DiffOptions::ignoreSubstrings). These are the
     // only metrics that vary across hosts or thread counts — everything

@@ -20,6 +20,14 @@ enum class StreamSource : std::uint8_t
     Coo,       ///< iteration >= 1: a COO run from the ping-pong buffer
     CscColumn, ///< SpMV iteration 0: one column of the input CSC slice
     ScaledBRow,///< SpGEMM iteration 0: row of B scaled by one A non-zero
+    /**
+     * SpGEMM Huffman scheduler: a pack of >= 2 consecutive scaled-B-row
+     * streams with strictly increasing output rows, fetched as one
+     * virtual stream. [begin, end) addresses the pack's concatenated
+     * element space; the PU maps virtual offsets back to B's arrays
+     * through its per-stream element prefix.
+     */
+    CondensedLeaf,
 };
 
 /** A contiguous run of non-zeros, sorted by the iteration's merge key. */
@@ -32,7 +40,9 @@ struct StreamDesc
                              ///< ScaledBRow: the LOCAL output row
     int cooBuffer = 0;       ///< Coo: which ping-pong buffer (0/1)
     Value scale = 1.0f;      ///< ScaledBRow: the A(i, k) multiplier
-    Index auxIndex = 0;      ///< ScaledBRow: the source B row k
+    Index auxIndex = 0;      ///< ScaledBRow: the source B row k (uniform
+                             ///< scheduler) or the condensed-leaf index
+                             ///< (Huffman); CondensedLeaf: leaf index
 
     std::uint64_t length() const { return end - begin; }
     bool empty() const { return begin == end; }

@@ -127,6 +127,16 @@ struct RunResult
     std::vector<std::uint64_t> rankActivates;
     std::vector<std::uint64_t> rankBursts;
 
+    // SpGEMM only (empty otherwise): COO ping-pong spill traffic per
+    // merge iteration, summed element-wise over PUs (shorter-running
+    // PUs contribute zeros to the tail). Reads are the analytic block
+    // spans of the runs each iteration consumes; writes the measured
+    // store blocks of each non-final iteration. Both schedulers report
+    // them, which is what the condensed-over-uniform bench ratio and
+    // its CI gate are built from.
+    std::vector<std::uint64_t> spilledReadBlocks;
+    std::vector<std::uint64_t> spilledWriteBlocks;
+
     // Representative time series (PU 0 / controller 0); empty unless
     // SystemConfig::samplePeriod was set.
     IntervalSampler treeOccupancy;

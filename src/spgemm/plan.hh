@@ -33,11 +33,40 @@
 namespace menda::spgemm
 {
 
+/** Scheduler for the multi-round SpGEMM merge decomposition. */
+enum class SpgemmScheduler : std::uint8_t
+{
+    /** ceil(n / l) equal rounds per iteration (planMergeRounds). */
+    Uniform,
+    /** Condensed leaves + size-aware deferral (planMergeTree). */
+    Huffman,
+};
+
+/** Host-side SpGEMM planning knobs (lives in PuConfig::spgemm). */
+struct SpgemmConfig
+{
+    SpgemmScheduler scheduler = SpgemmScheduler::Uniform;
+
+    /**
+     * Maximum partial-product streams condensed into one packed leaf
+     * (Huffman scheduler only). Streams pack while their output rows
+     * stay strictly increasing, so concatenation is already sorted.
+     */
+    unsigned condenseCap = 64;
+};
+
 /** Per-row merge-work profile of C = A x B. */
 struct WorkProfile
 {
     /** rows + 1 entries: cumulative partial products up to each row. */
     std::vector<std::uint64_t> prefix;
+
+    /**
+     * Per-stream NNZ: one entry per A non-zero in row-major order (==
+     * the length of the B row it selects). This is exactly the stream
+     * size profile the Huffman scheduler condenses and orders by.
+     */
+    std::vector<std::uint64_t> streamElements;
 
     /** Total partial products (merge elements) of the product. */
     std::uint64_t
@@ -97,13 +126,96 @@ struct MergeSchedule
 
 /**
  * Decompose a merge of @p fan_in sorted streams totalling
- * @p partial_products elements on an @p leaves-way tree. Mirrors the PU
- * controller exactly: ceil(n / l) rounds per iteration, the round
- * outputs become the next iteration's streams, and the iteration whose
- * fan-in fits a single round is final.
+ * @p partial_products elements on an @p leaves-way tree under the
+ * *uniform* scheduler (SpgemmScheduler::Uniform, the differential
+ * oracle): ceil(n / l) rounds per iteration, every round output
+ * becomes a next-iteration stream, and the iteration whose fan-in fits
+ * a single round is final. Every non-final iteration therefore spills
+ * the slice's full element set. The Huffman scheduler (planMergeTree)
+ * instead defers large streams to late iterations and spills only what
+ * it actually merges early; the PU controller honors whichever plan
+ * PuConfig::spgemm.scheduler selects.
  */
 MergeSchedule planMergeRounds(std::uint64_t fan_in, unsigned leaves,
                               std::uint64_t partial_products);
+
+/**
+ * A packed leaf: @p streamCount consecutive partial-product streams
+ * starting at @p firstStream whose output rows strictly increase, so
+ * their concatenation is one already-sorted stream of @p elements
+ * merge elements. Single-stream leaves (streamCount == 1) keep their
+ * original fetch path.
+ */
+struct CondensedLeaf
+{
+    std::uint64_t firstStream = 0;
+    std::uint32_t streamCount = 0;
+    std::uint64_t elements = 0;
+};
+
+/**
+ * Greedily pack runs of consecutive streams with strictly increasing
+ * output rows (up to @p cap streams per pack) into condensed leaves.
+ * Streams sharing an output row — a multi-NNZ A row — never pack,
+ * because their key ranges interleave. Covers every stream exactly
+ * once, in order.
+ */
+struct PartialProductStream;
+
+std::vector<CondensedLeaf>
+condenseStreams(const std::vector<PartialProductStream> &streams,
+                unsigned cap);
+
+/** One merge-tree input: a condensed leaf or a prior-iteration run. */
+struct StreamRef
+{
+    enum class Kind : std::uint8_t
+    {
+        Leaf, ///< index = condensed-leaf ordinal
+        Run,  ///< index = round ordinal within the previous iteration
+    };
+    Kind kind = Kind::Leaf;
+    std::uint32_t index = 0;
+};
+
+/** One merge round: up to `leaves` inputs folded into one sorted run. */
+struct MergeRound
+{
+    std::vector<StreamRef> inputs;
+};
+
+struct MergeIteration
+{
+    std::vector<MergeRound> rounds;
+};
+
+/**
+ * Size-aware merge schedule (SpgemmScheduler::Huffman). Inputs stay in
+ * stream-ordinal order — every round merges a *contiguous* ordinal
+ * window, which is what keeps equal-key FP accumulation order, and so
+ * the CSR bytes, identical to the uniform plan and spgemmHeapMerge.
+ */
+struct MergeTreePlan
+{
+    unsigned leaves = 0;
+    std::vector<MergeIteration> iterations;
+
+    /** COO elements written to the ping-pong across all iterations. */
+    std::uint64_t spilledElements = 0;
+};
+
+/**
+ * Plan a merge of @p leaf_sizes.size() condensed leaves on an
+ * @p leaves-way tree, Huffman-style: within each non-final iteration
+ * the largest leaves that can still be deferred without adding an
+ * iteration are pushed to later rounds, so their elements never
+ * transit the spill buffer. Runs (prior-iteration outputs) are always
+ * consumed the very next iteration — the ping-pong only holds two
+ * buffers. The iteration count always equals the uniform plan's, and
+ * spilledElements is <= the uniform plan's for the same profile.
+ */
+MergeTreePlan planMergeTree(const std::vector<std::uint64_t> &leaf_sizes,
+                            unsigned leaves);
 
 } // namespace menda::spgemm
 

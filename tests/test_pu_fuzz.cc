@@ -64,6 +64,14 @@ randomConfig(Rng &rng)
     config.pu.stallReducingPrefetch = rng.below(2) == 0;
     config.pu.requestCoalescing = rng.below(2) == 0;
     config.pu.freqMhz = 400 + rng.below(3) * 400;
+    // Scheduler axis: half the draws take the condensed (Huffman) merge
+    // planner, across the whole condense-cap range. Only SpGEMM reads
+    // these; transpose/SpMV draws keep the seed sequence aligned.
+    config.pu.spgemm.scheduler = rng.below(2) == 0
+                                     ? spgemm::SpgemmScheduler::Huffman
+                                     : spgemm::SpgemmScheduler::Uniform;
+    config.pu.spgemm.condenseCap =
+        static_cast<unsigned>(1u << rng.below(8));
     return config;
 }
 

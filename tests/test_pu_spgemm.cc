@@ -10,13 +10,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "baselines/spgemm_cpu.hh"
+#include "common/random.hh"
 #include "menda/host_api.hh"
 #include "menda/system.hh"
 #include "solver/spmm.hh"
 #include "sparse/generate.hh"
+#include "spgemm/partial_products.hh"
 #include "spgemm/plan.hh"
 
 using namespace menda;
@@ -267,6 +272,206 @@ TEST(PuSpgemm, ThreadedShardsAreBitIdentical)
     EXPECT_EQ(got.writeBlocks, want.writeBlocks);
     EXPECT_EQ(got.treeOccupancyPacketCycles,
               want.treeOccupancyPacketCycles);
+}
+
+namespace
+{
+
+/**
+ * Check @p plan is a valid merge forest over @p sizes.size() leaves:
+ * every leaf consumed exactly once, every run consumed exactly once in
+ * the very next iteration (the ping-pong lifetime), round fan-in
+ * within [1, leaves], the final iteration a single round, and the
+ * plan's spill ledger equal to an independent recount of the mass its
+ * non-final rounds actually merge.
+ */
+void
+expectValidMergeForest(const spgemm::MergeTreePlan &plan,
+                       const std::vector<std::uint64_t> &sizes,
+                       unsigned leaves)
+{
+    ASSERT_FALSE(plan.iterations.empty());
+    std::vector<unsigned> leaf_uses(sizes.size(), 0);
+    std::vector<std::uint64_t> prev_mass; // run masses of iteration t-1
+    std::uint64_t recounted_spill = 0;
+    for (std::size_t t = 0; t < plan.iterations.size(); ++t) {
+        const spgemm::MergeIteration &iter = plan.iterations[t];
+        const bool final = t + 1 == plan.iterations.size();
+        if (final) {
+            EXPECT_LE(iter.rounds.size(), 1u);
+        }
+        std::vector<unsigned> run_uses(prev_mass.size(), 0);
+        std::vector<std::uint64_t> mass;
+        for (const spgemm::MergeRound &round : iter.rounds) {
+            EXPECT_GE(round.inputs.size(), 1u);
+            EXPECT_LE(round.inputs.size(), leaves);
+            std::uint64_t round_mass = 0;
+            for (const spgemm::StreamRef &ref : round.inputs) {
+                if (ref.kind == spgemm::StreamRef::Kind::Leaf) {
+                    ASSERT_LT(ref.index, sizes.size());
+                    ++leaf_uses[ref.index];
+                    round_mass += sizes[ref.index];
+                } else {
+                    ASSERT_LT(ref.index, prev_mass.size());
+                    ++run_uses[ref.index];
+                    round_mass += prev_mass[ref.index];
+                }
+            }
+            if (!final)
+                recounted_spill += round_mass;
+            mass.push_back(round_mass);
+        }
+        for (std::size_t r = 0; r < run_uses.size(); ++r)
+            EXPECT_EQ(run_uses[r], 1u)
+                << "run " << r << " of iteration " << t - 1
+                << " not consumed exactly once by iteration " << t;
+        prev_mass = std::move(mass);
+    }
+    EXPECT_LE(prev_mass.size(), 1u);
+    for (std::size_t i = 0; i < leaf_uses.size(); ++i)
+        EXPECT_EQ(leaf_uses[i], 1u)
+            << "leaf " << i << " consumed " << leaf_uses[i] << " times";
+    EXPECT_EQ(plan.spilledElements, recounted_spill);
+}
+
+} // namespace
+
+TEST(PlanMergeTree, FuzzedPlansAreValidForests)
+{
+    // Random skewed leaf profiles across tree widths: the plan must be
+    // a valid forest, keep the uniform planner's iteration count, and
+    // never spill more than it (the weighted-cost property).
+    Rng rng(0x5ca1ab1e);
+    for (unsigned trial = 0; trial < 300; ++trial) {
+        const unsigned leaves = 2u << rng.below(6); // 2..64
+        const std::uint64_t n = rng.below(400);
+        std::vector<std::uint64_t> sizes(n);
+        std::uint64_t total = 0;
+        for (std::uint64_t &s : sizes) {
+            // Mostly tiny streams with occasional giants — the shape
+            // condensing and deferral are built for.
+            s = rng.below(4) == 0 ? rng.below(2000) : rng.below(8);
+            total += s;
+        }
+        SCOPED_TRACE("trial=" + std::to_string(trial) + " n=" +
+                     std::to_string(n) + " leaves=" +
+                     std::to_string(leaves));
+        const spgemm::MergeTreePlan plan =
+            spgemm::planMergeTree(sizes, leaves);
+        expectValidMergeForest(plan, sizes, leaves);
+
+        const spgemm::MergeSchedule uniform =
+            spgemm::planMergeRounds(n, leaves, total);
+        EXPECT_EQ(plan.iterations.size(), uniform.iterations);
+        EXPECT_LE(plan.spilledElements, uniform.spilledElements);
+    }
+}
+
+TEST(PlanMergeTree, EdgeProfiles)
+{
+    for (const unsigned leaves : {2u, 4u, 64u}) {
+        for (const std::uint64_t n :
+             {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{leaves},
+              std::uint64_t{leaves} + 1,
+              std::uint64_t{leaves} * leaves + 1}) {
+            std::vector<std::uint64_t> sizes(n, 3);
+            SCOPED_TRACE("n=" + std::to_string(n) + " leaves=" +
+                         std::to_string(leaves));
+            const spgemm::MergeTreePlan plan =
+                spgemm::planMergeTree(sizes, leaves);
+            expectValidMergeForest(plan, sizes, leaves);
+            EXPECT_EQ(plan.iterations.size(),
+                      spgemm::planMergeRounds(n, leaves, 3 * n)
+                          .iterations);
+        }
+    }
+}
+
+TEST(PlanMergeTree, CondenseStreamsCoversEveryStreamInOrder)
+{
+    sparse::CsrMatrix a =
+        sparse::generateSkewedRows(128, 96, 1200, 2.0, 515);
+    sparse::CsrMatrix b = sparse::generateUniform(96, 80, 300, 516);
+    const std::vector<spgemm::PartialProductStream> streams =
+        spgemm::buildStreams(a, b);
+    ASSERT_EQ(streams.size(), a.nnz());
+    for (const unsigned cap : {0u, 1u, 2u, 7u, 64u}) {
+        const unsigned effective_cap = std::max(cap, 1u);
+        const std::vector<spgemm::CondensedLeaf> packs =
+            spgemm::condenseStreams(streams, cap);
+        std::uint64_t s = 0;
+        for (const spgemm::CondensedLeaf &pack : packs) {
+            ASSERT_EQ(pack.firstStream, s) << "cap=" << cap;
+            ASSERT_GE(pack.streamCount, 1u);
+            ASSERT_LE(pack.streamCount, effective_cap);
+            std::uint64_t elements = 0;
+            for (std::uint64_t t = pack.firstStream;
+                 t < pack.firstStream + pack.streamCount; ++t) {
+                if (t > pack.firstStream) {
+                    ASSERT_GT(streams[t].outRow, streams[t - 1].outRow)
+                        << "pack at " << pack.firstStream
+                        << " concatenates out-of-order streams";
+                }
+                elements += streams[t].elements();
+            }
+            ASSERT_EQ(pack.elements, elements);
+            s += pack.streamCount;
+            // Greedy maximality: a pack only ends below its cap when
+            // the next stream would break the sorted concatenation.
+            if (pack.streamCount < effective_cap && s < streams.size()) {
+                ASSERT_LE(streams[s].outRow, streams[s - 1].outRow);
+            }
+        }
+        ASSERT_EQ(s, streams.size()) << "cap=" << cap;
+    }
+}
+
+TEST(PuSpgemm, CondensedSchedulerSpillsLessAndStaysBitIdentical)
+{
+    // Deterministic R-MAT regression for the condensed scheduler: same
+    // CSR bytes as uniform (and the heap oracle) at every host thread
+    // count, strictly less COO ping-pong traffic.
+    sparse::CsrMatrix a =
+        sparse::generateRmat(256, 2048, 0.1, 0.2, 0.3, 4242);
+    SystemConfig uniform = smallSystem(2, 16);
+    SystemConfig huffman = uniform;
+    huffman.pu.spgemm.scheduler = spgemm::SpgemmScheduler::Huffman;
+
+    const auto spilled = [](const RunResult &r) {
+        std::uint64_t total = 0;
+        for (std::uint64_t blocks : r.spilledReadBlocks)
+            total += blocks;
+        for (std::uint64_t blocks : r.spilledWriteBlocks)
+            total += blocks;
+        return total;
+    };
+
+    SpgemmResult uni = MendaSystem(uniform).spgemm(a, a);
+    SpgemmResult huf = MendaSystem(huffman).spgemm(a, a);
+    const sparse::CsrMatrix want = baselines::spgemmHeapMerge(a, a);
+    expectExact(uni.c, want);
+    expectExact(huf.c, want);
+
+    // Both schedulers go multi-round on a 16-leaf tree and the
+    // condensed plan strictly reduces the spilled blocks.
+    EXPECT_GE(uni.iterations, 3u);
+    EXPECT_GE(huf.iterations, 2u);
+    ASSERT_GT(spilled(uni), 0u);
+    ASSERT_GT(spilled(huf), 0u);
+    EXPECT_LT(spilled(huf), spilled(uni));
+
+    // Sharded simulation must not move a single byte or block: CSR,
+    // cycles, and the per-iteration spill ledgers all bit-identical
+    // between --threads 1 and 4.
+    SystemConfig threaded = huffman;
+    threaded.hostThreads = 4;
+    SpgemmResult huf4 = MendaSystem(threaded).spgemm(a, a);
+    expectExact(huf4.c, huf.c);
+    EXPECT_EQ(huf4.puCycles, huf.puCycles);
+    EXPECT_EQ(huf4.readBlocks, huf.readBlocks);
+    EXPECT_EQ(huf4.writeBlocks, huf.writeBlocks);
+    EXPECT_EQ(huf4.spilledReadBlocks, huf.spilledReadBlocks);
+    EXPECT_EQ(huf4.spilledWriteBlocks, huf.spilledWriteBlocks);
 }
 
 TEST(PuSpgemm, StatsExposeOccupancyAndStalls)

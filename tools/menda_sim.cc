@@ -6,8 +6,11 @@
  *   menda_sim transpose <file.mtx | --workload=NAME> [system flags]
  *   menda_sim spmv      <file.mtx | --workload=NAME> [system flags]
  *   menda_sim spgemm    <file.mtx | --workload=NAME | --rmat=DIM>
- *                       [--nnz=N] [--seed=S] [--verify] [system flags]
- *                       (computes C = A x A on the merge dataflow)
+ *                       [--nnz=N] [--seed=S] [--verify]
+ *                       [--scheduler=uniform|huffman] [system flags]
+ *                       (computes C = A x A on the merge dataflow;
+ *                       huffman = condensed partial products + size-
+ *                       aware merge scheduling, DESIGN.md Sec. 15)
  *   menda_sim sweep     <file.mtx | --workload=NAME> --param=channels|leaves|frequency
  *
  * System flags: --channels --dimms --ranks --leaves --freq
@@ -296,6 +299,12 @@ cmdSpgemm(const Options &opts)
         menda_fatal("spgemm computes A x A and needs a square matrix "
                     "(got ", a.rows, " x ", a.cols, ")");
     core::SystemConfig config = systemFromFlags(opts);
+    const std::string scheduler = opts.get("scheduler", "uniform");
+    if (scheduler == "huffman")
+        config.pu.spgemm.scheduler = spgemm::SpgemmScheduler::Huffman;
+    else if (scheduler != "uniform")
+        menda_fatal("bad --scheduler '", scheduler,
+                    "' (uniform|huffman)");
     core::MendaSystem sys(config);
     ObservedRun observed(sys, opts);
     core::SpgemmResult result = sys.spgemm(a, a);
